@@ -1,0 +1,69 @@
+"""Ablation — what inter-node linking and retrieval decoupling each contribute.
+
+DESIGN.md calls out two design choices behind DispersedLedger's gains:
+(i) decoupling block retrieval from agreement and (ii) the inter-node
+linking rule that commits every correctly dispersed block.  This ablation
+runs the four combinations on one mid-sized controlled network:
+
+* ``hb``        — neither (lockstep, no linking)
+* ``hb-link``   — linking only
+* ``dl-nolink`` — decoupling only (DispersedLedger with linking disabled)
+* ``dl``        — both (the full protocol)
+"""
+
+from conftest import bench_duration, fmt_mbps, report
+
+from repro.core.config import NodeConfig
+from repro.experiments.runner import WorkloadSpec, run_experiment
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.network import NetworkConfig
+from repro.workload.traces import MB, spatial_variation_rates
+
+
+def _network(num_nodes, duration):
+    rates = spatial_variation_rates(num_nodes, base=8 * MB, step=1.0 * MB)
+    traces = [ConstantBandwidth(rate) for rate in rates]
+    return NetworkConfig(
+        num_nodes=num_nodes,
+        propagation_delay=0.1,
+        egress_traces=list(traces),
+        ingress_traces=list(traces),
+    )
+
+
+def test_ablation_linking_and_decoupling(benchmark):
+    duration = bench_duration()
+    num_nodes = 10
+    workload = WorkloadSpec(kind="saturating")
+
+    def run():
+        network = _network(num_nodes, duration)
+        variants = {
+            "hb": ("hb", NodeConfig(max_block_size=1_000_000)),
+            "hb-link": ("hb-link", NodeConfig(max_block_size=1_000_000)),
+            "dl-nolink": ("dl", NodeConfig(max_block_size=1_000_000, linking=False)),
+            "dl": ("dl", NodeConfig(max_block_size=1_000_000, linking=True)),
+        }
+        return {
+            label: run_experiment(
+                protocol, network, duration, workload=workload, node_config=config
+            )
+            for label, (protocol, config) in variants.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["", f"=== Ablation: linking x decoupling ({num_nodes} nodes, {duration:.0f}s virtual) ==="]
+    lines.append(f"{'variant':>10} {'mean tput':>12} {'min tput':>12} {'max tput':>12}")
+    for label, result in results.items():
+        lines.append(
+            f"{label:>10} {fmt_mbps(result.mean_throughput):>12} "
+            f"{fmt_mbps(result.min_throughput):>12} {fmt_mbps(result.max_throughput):>12}"
+        )
+    report(*lines)
+
+    # The full protocol is at least as good as either single ingredient, and
+    # strictly better than plain HoneyBadger.
+    assert results["dl"].mean_throughput > results["hb"].mean_throughput
+    assert results["dl"].mean_throughput >= 0.95 * results["dl-nolink"].mean_throughput
+    assert results["dl"].mean_throughput >= 0.95 * results["hb-link"].mean_throughput

@@ -1,0 +1,54 @@
+"""Fig. 10 — median/tail confirmation latency vs offered load (DL vs HB).
+
+Paper shape to reproduce: at low load both protocols confirm in well under a
+second; as the load grows HoneyBadger's median latency climbs steeply
+(proposing and confirming are lockstep, so blocks — and epochs — keep
+growing), while DispersedLedger's stays nearly flat, at both a
+well-connected server (Ohio) and a poorly-connected one (Mumbai).
+"""
+
+from conftest import bench_duration, fmt_ms, report
+
+from repro.experiments.latency import FAST_CITY, SLOW_CITY, city_index, run_latency_sweep
+from repro.workload.cities import AWS_CITIES
+
+
+def test_fig10_latency_vs_load(benchmark):
+    duration = max(20.0, bench_duration(1.5))
+    # Per-node offered load: the low point is comfortably inside every
+    # protocol's capacity; the high point is near DispersedLedger's capacity
+    # and beyond HoneyBadger's (which is where the paper's curves diverge).
+    loads = (300_000.0, 1_000_000.0)
+
+    def run():
+        return run_latency_sweep(
+            loads=loads, protocols=("dl", "hb"), duration=duration, warmup=duration * 0.25
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    fast = city_index(AWS_CITIES, FAST_CITY)
+    slow = city_index(AWS_CITIES, SLOW_CITY)
+    lines = ["", f"=== Fig. 10: latency vs per-node offered load ({duration:.0f}s virtual) ==="]
+    lines.append(f"{'protocol':>9} {'load':>12} {'Ohio p50':>10} {'Ohio p95':>10} {'Mumbai p50':>11} {'Mumbai p95':>11}")
+    for protocol, points in sweep.points.items():
+        for point in points:
+            lines.append(
+                f"{protocol:>9} {point.load_bytes_per_second/1e6:>10.1f}MB"
+                f" {fmt_ms(point.median_at(fast)):>10}"
+                f" {fmt_ms(point.tail_at(fast, 'p95')):>10}"
+                f" {fmt_ms(point.median_at(slow)):>11}"
+                f" {fmt_ms(point.tail_at(slow, 'p95')):>11}"
+            )
+    report(*lines)
+
+    dl_points = sweep.points["dl"]
+    hb_points = sweep.points["hb"]
+    dl_growth = (dl_points[-1].median_at(fast) or 0) / max(dl_points[0].median_at(fast) or 1e-9, 1e-9)
+    hb_growth = (hb_points[-1].median_at(fast) or 0) / max(hb_points[0].median_at(fast) or 1e-9, 1e-9)
+    # HoneyBadger's latency grows with load at least as fast as DL's, and DL
+    # stays cheaper than HB at the highest load.
+    assert (dl_points[-1].median_at(fast) or 0) <= (hb_points[-1].median_at(fast) or float("inf"))
+    assert dl_growth <= hb_growth * 1.25
+    benchmark.extra_info["dl_median_growth"] = dl_growth
+    benchmark.extra_info["hb_median_growth"] = hb_growth

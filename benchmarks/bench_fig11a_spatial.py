@@ -1,0 +1,47 @@
+"""Fig. 11a — throughput under spatial bandwidth variation.
+
+16 nodes, node i capped at 10 + 0.5i MB/s, 100 ms links.  Paper shape to
+reproduce: HoneyBadger (with or without linking) is capped near the
+bandwidth of the (f+1)-th slowest server for every node, while
+DispersedLedger's per-node throughput is roughly proportional to that
+node's own capacity.
+"""
+
+from conftest import bench_duration, fmt_mbps, report
+
+from repro.experiments.controlled import run_spatial_variation
+
+
+def test_fig11a_spatial_variation(benchmark):
+    duration = bench_duration()
+
+    def run():
+        return run_spatial_variation(
+            num_nodes=16, duration=duration, protocols=("dl", "hb-link", "hb")
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["", f"=== Fig. 11a: spatial bandwidth variation ({duration:.0f}s virtual) ==="]
+    lines.append(f"{'node':>4} {'capacity':>12} {'dl':>12} {'hb-link':>12} {'hb':>12}")
+    for row in result.table():
+        lines.append(
+            f"{row['node']:>4} {fmt_mbps(row['capacity']):>12} {fmt_mbps(row['dl']):>12} "
+            f"{fmt_mbps(row['hb-link']):>12} {fmt_mbps(row['hb']):>12}"
+        )
+    lines.append(
+        "per-node max/min spread: dl %.2fx, hb-link %.2fx, hb %.2fx "
+        "(paper: DL proportional to capacity, HB flat)"
+        % (
+            result.throughput_spread("dl"),
+            result.throughput_spread("hb-link"),
+            result.throughput_spread("hb"),
+        )
+    )
+    report(*lines)
+
+    # DL spreads with capacity; HB stays (nearly) flat across nodes.
+    assert result.throughput_spread("dl") > 1.25
+    assert result.throughput_spread("hb") < 1.35
+    # DL's fastest nodes exceed what HoneyBadger allows anyone.
+    assert max(result.results["dl"].throughputs) > max(result.results["hb"].throughputs)

@@ -1,0 +1,50 @@
+"""Fig. 12 — throughput at different cluster sizes and block sizes.
+
+Paper shape to reproduce: growing the cluster from 16 to 128 nodes costs
+only a modest amount of throughput (the O(N^2) agreement overhead eats into
+a constant-sized block), and larger blocks amortise the fixed cost better.
+
+The 16..128 sweep uses the byte-accurate cost model; the N = 16 point is
+also measured with the message-level simulator to validate the model (the
+pure-Python event loop cannot run N = 128 in reasonable time — see
+DESIGN.md).
+"""
+
+from conftest import bench_duration, fmt_mbps, report
+
+from repro.experiments.scalability import model_sweep, validate_cost_model
+
+
+def test_fig12_throughput_vs_cluster_size(benchmark):
+    # The validation run needs enough virtual time to amortise the first
+    # epochs' ramp-up, since the analytic model describes the steady state.
+    duration = max(25.0, bench_duration(2.0))
+
+    def run():
+        points = model_sweep(cluster_sizes=(16, 32, 64, 128), block_sizes=(500_000, 1_000_000))
+        validation = validate_cost_model(n=16, block_size=500_000, duration=duration)
+        return points, validation
+
+    points, validation = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["", "=== Fig. 12: throughput vs cluster size (cost model; N=16 validated by simulation) ==="]
+    lines.append(f"{'N':>5} {'block':>10} {'throughput':>14}")
+    for point in points:
+        lines.append(f"{point.n:>5} {point.block_size:>10} {fmt_mbps(point.throughput):>14}")
+    lines.append(
+        f"model validation at N=16, 500 KB: simulated {fmt_mbps(validation.simulated_throughput)}"
+        f" vs modelled {fmt_mbps(validation.modelled_throughput)}"
+        f" (ratio {validation.throughput_ratio:.2f})"
+    )
+    report(*lines)
+
+    by_key = {(p.n, p.block_size): p for p in points}
+    # Throughput at N=128 is within a modest factor of N=16 (only a slight drop).
+    for block in (500_000, 1_000_000):
+        assert by_key[(128, block)].throughput > 0.5 * by_key[(16, block)].throughput
+        assert by_key[(128, block)].throughput <= 1.05 * by_key[(16, block)].throughput
+    # Bigger blocks never hurt.
+    assert by_key[(128, 1_000_000)].throughput >= by_key[(128, 500_000)].throughput
+    # The model is a steady-state ceiling: the (ramp-up-including) simulation
+    # lands below it but within a small factor.
+    assert 0.25 < validation.throughput_ratio <= 1.2

@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the substrates the protocols are built on.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+the hot paths: Reed-Solomon encoding/decoding, Merkle tree construction and
+proof verification, and a complete AVID-M dispersal + retrieval on the
+instant router.  They are not paper figures, but they document where the
+reproduction's CPU time goes and guard against performance regressions.
+"""
+
+import pytest
+
+from repro.common.ids import VIDInstanceId
+from repro.common.params import ProtocolParams
+from repro.crypto.merkle import MerkleTree, verify_proof
+from repro.erasure.rs_code import ReedSolomonCode
+
+BLOCK_SIZE = 250_000
+
+
+@pytest.fixture(scope="module")
+def params16():
+    return ProtocolParams.for_n(16)
+
+
+def test_reed_solomon_encode_250kb(benchmark, params16):
+    code = ReedSolomonCode(params16.data_shards, params16.total_shards)
+    block = bytes(range(256)) * (BLOCK_SIZE // 256)
+    shards = benchmark(code.encode, block)
+    assert len(shards) == 16
+
+
+def test_reed_solomon_decode_250kb(benchmark, params16):
+    code = ReedSolomonCode(params16.data_shards, params16.total_shards)
+    block = bytes(range(256)) * (BLOCK_SIZE // 256)
+    shards = code.encode(block)
+    # Decode from the parity half to force actual matrix inversion work.
+    subset = {i: shards[i] for i in range(16 - params16.data_shards, 16)}
+    decoded = benchmark(code.decode, subset)
+    assert decoded == block
+
+
+def test_merkle_tree_build_16_leaves(benchmark, params16):
+    code = ReedSolomonCode(params16.data_shards, params16.total_shards)
+    shards = code.encode(bytes(BLOCK_SIZE))
+    tree = benchmark(MerkleTree, shards)
+    assert tree.num_leaves == 16
+
+
+def test_merkle_proof_verification(benchmark):
+    leaves = [bytes([i]) * 64 for i in range(128)]
+    tree = MerkleTree(leaves)
+    proof = tree.proof(77)
+    assert benchmark(verify_proof, tree.root, leaves[77], proof)
+
+
+def test_avid_m_full_dispersal_and_retrieval(benchmark):
+    """One complete dispersal + one retrieval of a 100 KB block at N = 16."""
+    from repro.experiments.fig02 import measure_avid_m_dispersal_cost
+
+    cost = benchmark.pedantic(
+        measure_avid_m_dispersal_cost, args=(16, 100_000), rounds=3, iterations=1
+    )
+    assert cost > 0
+
+
+def test_binary_agreement_round(benchmark):
+    """All 7 nodes of a cluster deciding one unanimous BA instance."""
+    from repro.ba.coin import CommonCoin
+    from repro.ba.mmr import BinaryAgreement
+    from repro.common.ids import BAInstanceId
+    from repro.sim.context import NodeContext
+    from repro.sim.instant import InstantNetwork
+
+    def run():
+        params = ProtocolParams.for_n(7)
+        network = InstantNetwork(7)
+        coin = CommonCoin()
+        outputs = {}
+        instances = []
+        for node_id in range(7):
+            ctx = NodeContext(node_id, network, network)
+            ba = BinaryAgreement(
+                params=params,
+                instance=BAInstanceId(epoch=1, slot=0),
+                ctx=ctx,
+                coin=coin,
+                on_output=lambda _id, value, node_id=node_id: outputs.__setitem__(node_id, value),
+            )
+            instances.append(ba)
+
+            class _Adapter:
+                def __init__(self, ba):
+                    self.ba = ba
+
+                def start(self):
+                    return
+
+                def on_message(self, src, msg):
+                    self.ba.handle(src, msg)
+
+            network.attach(node_id, _Adapter(ba))
+        for ba in instances:
+            ba.input(1)
+        network.run()
+        return outputs
+
+    outputs = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert set(outputs.values()) == {1}

@@ -1,0 +1,36 @@
+"""Byzantine behaviours used by the tests and the robustness experiments.
+
+The paper's security model (S2.4) tolerates up to ``f`` arbitrary-behaviour
+nodes out of ``N >= 3f + 1``.  This package provides concrete adversaries:
+
+* :class:`CrashedNode` — a node that never sends anything (fail-silent),
+  the classic "Byzantine nodes may never initiate their VID Disperse" case
+  the epoch protocol must survive (S4.2).
+* :class:`CrashAfterNode` — a node that behaves correctly until a given
+  virtual time and is silent afterwards.
+* :class:`EquivocatingDisperserNode` — a proposer that disperses
+  *inconsistent* chunks (different payloads to different servers), the
+  attack AVID-M's re-encode check exists to neutralise (S3.2/S3.3): all
+  correct nodes must agree on the fixed ``BAD_UPLOADER`` outcome.
+* :class:`CensoringNode` — a node that always votes 0 on a victim's slot and
+  reports a zero observation for the victim, attempting the censorship
+  attack that inter-node linking defeats (S4.3).
+* :func:`drop_messages_from` / :func:`drop_messages_between` — delivery
+  filters for the instant router, used to emulate partitions and selective
+  message loss in tests.
+"""
+
+from repro.adversary.censor import CensoringNode
+from repro.adversary.crash import CrashAfterNode, CrashedNode
+from repro.adversary.equivocator import EquivocatingDisperserNode, send_inconsistent_dispersal
+from repro.adversary.filters import drop_messages_between, drop_messages_from
+
+__all__ = [
+    "CensoringNode",
+    "CrashAfterNode",
+    "CrashedNode",
+    "EquivocatingDisperserNode",
+    "drop_messages_between",
+    "drop_messages_from",
+    "send_inconsistent_dispersal",
+]

@@ -1,0 +1,86 @@
+"""A malicious disperser that sends inconsistent chunks.
+
+The attack AVID-M is designed to neutralise (S3.2): a Byzantine client
+encodes *different* data into the chunks it hands to different servers while
+committing to them under one Merkle root, hoping that retrievals using
+different chunk subsets decode to different blocks.  AVID-M's retrieval-time
+re-encode check detects this and makes every correct client return the same
+``BAD_UPLOADER`` outcome (Lemma B.8 / Theorem B.9).
+"""
+
+from __future__ import annotations
+
+from repro.common.ids import VIDInstanceId
+from repro.common.params import ProtocolParams
+from repro.core.node import DispersedLedgerNode
+from repro.crypto.merkle import MerkleTree
+from repro.erasure.rs_code import ReedSolomonCode
+from repro.sim.context import NodeContext
+from repro.vid.codec import Chunk
+from repro.vid.messages import ChunkMsg
+
+
+def send_inconsistent_dispersal(
+    params: ProtocolParams,
+    ctx: NodeContext,
+    instance: VIDInstanceId,
+    payload_a: bytes,
+    payload_b: bytes,
+) -> bytes:
+    """Disperse chunks that mix the encodings of two different payloads.
+
+    The chunks are committed to by one Merkle tree (so every per-chunk proof
+    verifies), but they are *not* the encoding of any single block: the first
+    ``N - 2f`` leaf positions hold ``payload_a``'s chunks and the rest hold
+    ``payload_b``'s.  Returns the Merkle root the servers will agree on.
+    """
+    rs = ReedSolomonCode(params.data_shards, params.total_shards)
+    shards_a = rs.encode(payload_a)
+    shards_b = rs.encode(payload_b)
+    if len(shards_a[0]) != len(shards_b[0]):
+        raise ValueError("payloads must produce equally sized shards for this attack")
+    mixed = [
+        shards_a[i] if i < params.data_shards else shards_b[i] for i in range(params.n)
+    ]
+    tree = MerkleTree(mixed)
+    for server in range(params.n):
+        chunk = Chunk(
+            index=server, size=len(mixed[server]), data=mixed[server], proof=tree.proof(server)
+        )
+        ctx.send(server, ChunkMsg(instance=instance, root=tree.root, chunk=chunk))
+    return tree.root
+
+
+class EquivocatingDisperserNode(DispersedLedgerNode):
+    """A DispersedLedger proposer that disperses inconsistent chunks every epoch.
+
+    It otherwise follows the protocol (it votes, answers retrievals for other
+    slots, and so on), which is the strongest form of the attack: the cluster
+    commits the slot, and correctness requires every correct node to deliver
+    the same ``BAD_UPLOADER`` placeholder for it.  Requires the real data
+    plane (the virtual codec has no bytes to equivocate over).
+    """
+
+    #: Alternative payload dispersed to the non-systematic chunk positions.
+    DECOY = b"equivocation-decoy-payload"
+
+    def _begin_dispersal(self, epoch: int) -> None:
+        state = self._epoch_state(epoch)
+        if state.dispersal_started:
+            return
+        state.dispersal_started = True
+        self.current_epoch = max(self.current_epoch, epoch)
+        block = self._make_block(epoch)
+        state.own_block = block
+        state.proposed_at = self.ctx.now
+        payload = block.serialize()
+        decoy = self.DECOY.ljust(len(payload), b"\x00")[: len(payload)]
+        send_inconsistent_dispersal(
+            self.params,
+            self.ctx,
+            VIDInstanceId(epoch=epoch, proposer=self.node_id),
+            payload,
+            decoy,
+        )
+        if self.on_propose is not None:
+            self.on_propose(self.node_id, block, self.ctx.now)

@@ -1,0 +1,46 @@
+"""Delivery filters for the instant router.
+
+:class:`repro.sim.instant.InstantNetwork` calls an optional
+``delivery_filter(src, dst, msg)`` for every message and drops the message
+when the filter returns False.  These helpers build common filters used by
+the fault-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.sim.messages import Message
+
+DeliveryFilter = Callable[[int, int, Message], bool]
+
+
+def drop_messages_from(silenced: Iterable[int]) -> DeliveryFilter:
+    """Drop every message originating at any node in ``silenced``."""
+    silenced_set = frozenset(silenced)
+
+    def predicate(src: int, dst: int, msg: Message) -> bool:
+        return src not in silenced_set
+
+    return predicate
+
+
+def drop_messages_between(group_a: Iterable[int], group_b: Iterable[int]) -> DeliveryFilter:
+    """Drop messages crossing between two node groups (a network partition)."""
+    set_a = frozenset(group_a)
+    set_b = frozenset(group_b)
+
+    def predicate(src: int, dst: int, msg: Message) -> bool:
+        crosses = (src in set_a and dst in set_b) or (src in set_b and dst in set_a)
+        return not crosses
+
+    return predicate
+
+
+def compose_filters(*filters: DeliveryFilter) -> DeliveryFilter:
+    """A filter that delivers a message only if every component filter allows it."""
+
+    def predicate(src: int, dst: int, msg: Message) -> bool:
+        return all(component(src, dst, msg) for component in filters)
+
+    return predicate

@@ -1,0 +1,52 @@
+"""Wire messages of the MMR binary agreement protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.ids import BAInstanceId
+from repro.sim.messages import HEADER_SIZE, Message, Priority
+
+#: Extra bytes carried by a BA vote beyond the framing header (round, value).
+_VOTE_BODY = 8
+
+
+@dataclass
+class BValMsg(Message):
+    """``BVAL(round, value)``: the binary-value broadcast of MMR."""
+
+    instance: BAInstanceId = field(kw_only=True)
+    round_number: int = field(kw_only=True)
+    value: int = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.wire_size = HEADER_SIZE + _VOTE_BODY
+        self.priority = Priority.DISPERSAL
+
+
+@dataclass
+class AuxMsg(Message):
+    """``AUX(round, value)``: second-phase vote over the binary value set."""
+
+    instance: BAInstanceId = field(kw_only=True)
+    round_number: int = field(kw_only=True)
+    value: int = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.wire_size = HEADER_SIZE + _VOTE_BODY
+        self.priority = Priority.DISPERSAL
+
+
+@dataclass
+class DecidedMsg(Message):
+    """Termination gadget: a node announces its decision so peers can halt."""
+
+    instance: BAInstanceId = field(kw_only=True)
+    value: int = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.wire_size = HEADER_SIZE + _VOTE_BODY
+        self.priority = Priority.DISPERSAL
+
+
+BA_MESSAGE_TYPES = (BValMsg, AuxMsg, DecidedMsg)

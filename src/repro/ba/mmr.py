@@ -1,0 +1,215 @@
+"""Signature-free asynchronous binary agreement (Mostefaoui et al., PODC 2014).
+
+One :class:`BinaryAgreement` object is the automaton for one BA instance at
+one node.  The interface matches the paper's abstraction (S4.1):
+
+* ``input(b)`` — provide the node's binary input;
+* the ``on_output`` callback fires exactly once with the decided bit.
+
+Protocol sketch (per round ``r``):
+
+1. broadcast ``BVAL(r, est)``;
+2. after ``f + 1`` ``BVAL(r, v)`` from distinct senders, echo ``BVAL(r, v)``;
+   after ``2f + 1``, add ``v`` to ``bin_values[r]``;
+3. when ``bin_values[r]`` first becomes non-empty, broadcast ``AUX(r, v)``
+   for one of its members;
+4. once ``N - f`` ``AUX(r, *)`` messages carry values inside
+   ``bin_values[r]``, flip the common coin ``s``; if the carried values are a
+   single ``{v}`` then ``est = v`` and decide if ``v == s``; otherwise
+   ``est = s``; move to round ``r + 1``.
+
+A Bracha-style termination gadget is layered on top so instances can stop
+sending messages: deciding nodes broadcast ``DECIDED(v)``; ``f + 1`` such
+messages let a node adopt the decision, and ``2f + 1`` let it halt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.ids import BAInstanceId
+from repro.common.params import ProtocolParams
+from repro.sim.context import NodeContext
+from repro.sim.messages import Message
+from repro.ba.coin import CommonCoin
+from repro.ba.messages import AuxMsg, BValMsg, DecidedMsg
+
+
+@dataclass
+class _RoundState:
+    """Book-keeping for one round of the protocol."""
+
+    bval_senders: dict[int, set[int]] = field(default_factory=lambda: {0: set(), 1: set()})
+    aux_values: dict[int, int] = field(default_factory=dict)
+    bval_sent: set[int] = field(default_factory=set)
+    aux_sent: bool = False
+    bin_values: set[int] = field(default_factory=set)
+    advanced: bool = False
+
+
+class BinaryAgreement:
+    """One binary-agreement instance at one node."""
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        instance: BAInstanceId,
+        ctx: NodeContext,
+        coin: CommonCoin | None = None,
+        on_output: Callable[[BAInstanceId, int], None] | None = None,
+    ):
+        self.params = params
+        self.instance = instance
+        self.ctx = ctx
+        self.coin = coin or CommonCoin()
+        self.on_output = on_output
+
+        self.round_number = 0
+        self.estimate: int | None = None
+        self.decided: int | None = None
+        self.halted = False
+        self._started = False
+        self._sent_decided = False
+        self._rounds: dict[int, _RoundState] = {}
+        self._decided_senders: dict[int, set[int]] = {0: set(), 1: set()}
+        self.rounds_taken = 0
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def has_input(self) -> bool:
+        return self._started
+
+    def input(self, value: int) -> None:
+        """Provide this node's binary input (idempotent after the first call)."""
+        if value not in (0, 1):
+            raise ValueError(f"binary agreement input must be 0 or 1, got {value}")
+        if self._started or self.halted:
+            return
+        self._started = True
+        self.estimate = value
+        self._broadcast_bval(self.round_number, value)
+        self._evaluate_round(self.round_number)
+
+    def handle(self, src: int, msg: Message) -> None:
+        """Dispatch one incoming message for this instance."""
+        if self.halted:
+            return
+        if isinstance(msg, BValMsg):
+            self._on_bval(src, msg)
+        elif isinstance(msg, AuxMsg):
+            self._on_aux(src, msg)
+        elif isinstance(msg, DecidedMsg):
+            self._on_decided(src, msg)
+
+    # ------------------------------------------------------------------
+    # Round machinery
+    # ------------------------------------------------------------------
+
+    def _round(self, round_number: int) -> _RoundState:
+        return self._rounds.setdefault(round_number, _RoundState())
+
+    def _broadcast_bval(self, round_number: int, value: int) -> None:
+        state = self._round(round_number)
+        if value in state.bval_sent:
+            return
+        state.bval_sent.add(value)
+        self.ctx.broadcast(
+            BValMsg(instance=self.instance, round_number=round_number, value=value)
+        )
+
+    def _on_bval(self, src: int, msg: BValMsg) -> None:
+        if msg.value not in (0, 1) or msg.round_number < self.round_number:
+            return
+        state = self._round(msg.round_number)
+        state.bval_senders[msg.value].add(src)
+        if not self._started:
+            return
+        self._evaluate_round(msg.round_number)
+
+    def _on_aux(self, src: int, msg: AuxMsg) -> None:
+        if msg.value not in (0, 1) or msg.round_number < self.round_number:
+            return
+        state = self._round(msg.round_number)
+        state.aux_values.setdefault(src, msg.value)
+        if not self._started:
+            return
+        self._evaluate_round(msg.round_number)
+
+    def _evaluate_round(self, round_number: int) -> None:
+        """Apply every enabled rule for ``round_number`` if it is the current round."""
+        if round_number != self.round_number or self.halted:
+            return
+        state = self._round(round_number)
+
+        # Rule: echo BVAL values supported by f + 1 nodes; promote at 2f + 1.
+        for value in (0, 1):
+            senders = state.bval_senders[value]
+            if len(senders) >= self.params.small_quorum and value not in state.bval_sent:
+                self._broadcast_bval(round_number, value)
+            if len(senders) >= self.params.ready_threshold and value not in state.bin_values:
+                state.bin_values.add(value)
+                if not state.aux_sent:
+                    state.aux_sent = True
+                    self.ctx.broadcast(
+                        AuxMsg(instance=self.instance, round_number=round_number, value=value)
+                    )
+
+        if not state.bin_values or state.advanced:
+            return
+
+        # Rule: once N - f AUX votes carry values inside bin_values, conclude
+        # the round with the common coin.
+        valid_aux = {
+            sender: value
+            for sender, value in state.aux_values.items()
+            if value in state.bin_values
+        }
+        if len(valid_aux) < self.params.quorum:
+            return
+        carried_values = set(valid_aux.values())
+        coin_value = self.coin.flip(self.instance, round_number)
+        state.advanced = True
+        self.rounds_taken = round_number + 1
+        if len(carried_values) == 1:
+            (only_value,) = carried_values
+            self.estimate = only_value
+            if only_value == coin_value:
+                self._decide(only_value)
+        else:
+            self.estimate = coin_value
+        if self.halted:
+            return
+        self._advance_to(round_number + 1)
+
+    def _advance_to(self, round_number: int) -> None:
+        self.round_number = round_number
+        assert self.estimate is not None
+        self._broadcast_bval(round_number, self.estimate)
+        self._evaluate_round(round_number)
+
+    # ------------------------------------------------------------------
+    # Decision and termination gadget
+    # ------------------------------------------------------------------
+
+    def _decide(self, value: int) -> None:
+        if self.decided is None:
+            self.decided = value
+            if self.on_output is not None:
+                self.on_output(self.instance, value)
+        if not self._sent_decided:
+            self._sent_decided = True
+            self.ctx.broadcast(DecidedMsg(instance=self.instance, value=value))
+
+    def _on_decided(self, src: int, msg: DecidedMsg) -> None:
+        if msg.value not in (0, 1):
+            return
+        senders = self._decided_senders[msg.value]
+        senders.add(src)
+        if len(senders) >= self.params.small_quorum and self.decided is None:
+            self._decide(msg.value)
+        if len(senders) >= self.params.ready_threshold and self.decided == msg.value:
+            self.halted = True

@@ -1,0 +1,30 @@
+"""Shared primitives used across the DispersedLedger reproduction.
+
+This package holds protocol parameters, typed identifiers for protocol
+instances, and the exception hierarchy.  Nothing here depends on the
+simulator or on any particular protocol, so every other subpackage may
+import it freely.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    DecodingError,
+    DispersalError,
+    ProtocolError,
+    ReproError,
+    RetrievalError,
+)
+from repro.common.ids import BAInstanceId, VIDInstanceId
+from repro.common.params import ProtocolParams
+
+__all__ = [
+    "BAInstanceId",
+    "ConfigurationError",
+    "DecodingError",
+    "DispersalError",
+    "ProtocolError",
+    "ProtocolParams",
+    "ReproError",
+    "RetrievalError",
+    "VIDInstanceId",
+]

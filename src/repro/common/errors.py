@@ -1,0 +1,25 @@
+"""Exception hierarchy for the DispersedLedger reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid protocol or experiment configuration was supplied."""
+
+
+class ProtocolError(ReproError):
+    """A protocol automaton received input that violates its contract."""
+
+
+class DispersalError(ProtocolError):
+    """A VID dispersal could not be carried out."""
+
+
+class RetrievalError(ProtocolError):
+    """A VID retrieval could not be carried out."""
+
+
+class DecodingError(ReproError):
+    """An erasure-coded payload could not be decoded."""

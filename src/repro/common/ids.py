@@ -1,0 +1,32 @@
+"""Typed identifiers for protocol instances.
+
+DispersedLedger runs ``N`` VID instances and ``N`` BA instances per epoch
+(S4.2 of the paper).  Messages for every instance are tagged with the
+instance id so that concurrently running instances never interfere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class VIDInstanceId:
+    """Identifies one VID instance: the proposer's slot for one epoch."""
+
+    epoch: int
+    proposer: int
+
+    def __str__(self) -> str:
+        return f"VID(e={self.epoch}, p={self.proposer})"
+
+
+@dataclass(frozen=True, order=True)
+class BAInstanceId:
+    """Identifies one binary-agreement instance for one epoch and slot."""
+
+    epoch: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"BA(e={self.epoch}, s={self.slot})"

@@ -1,0 +1,77 @@
+"""Protocol parameters shared by every subprotocol.
+
+The paper's security model (S2.4) fixes a set of ``N`` servers of which at
+most ``f`` are Byzantine, with ``N >= 3f + 1``.  Every subprotocol (AVID-M,
+binary agreement, DispersedLedger, HoneyBadger) derives its thresholds from
+these two numbers, so they live in a single immutable value object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """The ``(N, f)`` parameters of the Byzantine fault tolerance setting.
+
+    Attributes:
+        n: total number of servers (``N`` in the paper).
+        f: maximum number of Byzantine servers tolerated.
+    """
+
+    n: int
+    f: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError(f"n must be positive, got {self.n}")
+        if self.f < 0:
+            raise ConfigurationError(f"f must be non-negative, got {self.f}")
+        if self.n < 3 * self.f + 1:
+            raise ConfigurationError(
+                f"need n >= 3f + 1 for Byzantine tolerance, got n={self.n}, f={self.f}"
+            )
+
+    @classmethod
+    def for_n(cls, n: int) -> "ProtocolParams":
+        """Build parameters for ``n`` servers with the maximum tolerable ``f``."""
+        if n < 1:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        return cls(n=n, f=(n - 1) // 3)
+
+    @property
+    def quorum(self) -> int:
+        """Size of a super-majority quorum (``N - f``)."""
+        return self.n - self.f
+
+    @property
+    def small_quorum(self) -> int:
+        """Number of votes that guarantees at least one correct vote (``f + 1``)."""
+        return self.f + 1
+
+    @property
+    def data_shards(self) -> int:
+        """Number of data shards of the ``(N - 2f, N)`` erasure code."""
+        return self.n - 2 * self.f
+
+    @property
+    def total_shards(self) -> int:
+        """Total number of erasure-code shards (one per server)."""
+        return self.n
+
+    @property
+    def ready_threshold(self) -> int:
+        """Number of ``Ready`` messages required to complete a dispersal (``2f + 1``)."""
+        return 2 * self.f + 1
+
+    @property
+    def ready_amplify_threshold(self) -> int:
+        """Number of ``Ready`` messages that triggers echoing ``Ready`` (``f + 1``)."""
+        return self.f + 1
+
+    def node_indices(self) -> range:
+        """All node indices, ``0..N-1``."""
+        return range(self.n)

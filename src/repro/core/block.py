@@ -1,0 +1,149 @@
+"""Transactions and blocks.
+
+A block (S4.2-4.3 of the paper) carries a batch of transactions plus the
+proposing node's observation array ``V`` used by inter-node linking: entry
+``V[j]`` is the largest epoch ``t`` such that all of node ``j``'s VID
+instances up to epoch ``t`` have completed at the proposer.
+
+Blocks support two data planes:
+
+* **virtual** — the block object itself is dispersed through the
+  :class:`repro.vid.codec.VirtualCodec`; only its declared ``size`` matters.
+* **real** — the block is serialised to bytes (``serialize``/``deserialize``)
+  and dispersed through the :class:`repro.vid.codec.RealCodec`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+
+_TX_HEADER = struct.Struct(">QIId")
+_BLOCK_HEADER = struct.Struct(">IQI I".replace(" ", ""))
+_V_ENTRY = struct.Struct(">q")
+
+#: Wire overhead per transaction (id, origin, size, timestamp).
+TX_OVERHEAD = _TX_HEADER.size
+#: Wire overhead per block (proposer, epoch, tx count, v-array length).
+BLOCK_OVERHEAD = _BLOCK_HEADER.size
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One client transaction.
+
+    ``size`` is the transaction's wire size in bytes; ``data`` carries real
+    bytes only when the real data plane is in use (tests, examples).
+    """
+
+    tx_id: int
+    origin: int
+    created_at: float
+    size: int
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.data and len(self.data) != self.size:
+            raise ValueError(
+                f"transaction declares size {self.size} but carries {len(self.data)} bytes"
+            )
+
+
+@dataclass(frozen=True)
+class Block:
+    """A proposed block: transactions plus the proposer's observation array."""
+
+    proposer: int
+    epoch: int
+    transactions: tuple[Transaction, ...] = ()
+    v_array: tuple[int, ...] = ()
+    label: str = ""
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes of client transaction payload carried by this block."""
+        return sum(tx.size for tx in self.transactions)
+
+    @property
+    def size(self) -> int:
+        """Total wire size of the block (what gets dispersed)."""
+        return (
+            BLOCK_OVERHEAD
+            + len(self.v_array) * _V_ENTRY.size
+            + sum(TX_OVERHEAD + tx.size for tx in self.transactions)
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.transactions
+
+    def digest(self) -> bytes:
+        """A stable digest identifying the block (used by the virtual codec)."""
+        material = struct.pack(">IQ", self.proposer, self.epoch)
+        material += struct.pack(">I", len(self.transactions))
+        for tx in self.transactions:
+            material += struct.pack(">QI", tx.tx_id, tx.size)
+        material += b"".join(struct.pack(">q", entry) for entry in self.v_array)
+        return hashlib.sha256(material).digest()
+
+    # --- real data plane -------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Encode the block to bytes for dispersal through the real codec."""
+        parts = [
+            _BLOCK_HEADER.pack(
+                self.proposer, self.epoch, len(self.transactions), len(self.v_array)
+            )
+        ]
+        parts.extend(_V_ENTRY.pack(entry) for entry in self.v_array)
+        for tx in self.transactions:
+            parts.append(_TX_HEADER.pack(tx.tx_id, tx.origin, tx.size, tx.created_at))
+            data = tx.data if tx.data else b"\x00" * tx.size
+            parts.append(data)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "Block":
+        """Decode a block from bytes.
+
+        Raises:
+            ValueError: if the payload is not a well-formed block (the caller
+                treats this as an ill-formatted block per S4.3).
+        """
+        try:
+            offset = 0
+            proposer, epoch, num_txs, v_len = _BLOCK_HEADER.unpack_from(payload, offset)
+            offset += _BLOCK_HEADER.size
+            v_array = []
+            for _ in range(v_len):
+                (entry,) = _V_ENTRY.unpack_from(payload, offset)
+                offset += _V_ENTRY.size
+                v_array.append(entry)
+            transactions = []
+            for _ in range(num_txs):
+                tx_id, origin, size, created_at = _TX_HEADER.unpack_from(payload, offset)
+                offset += _TX_HEADER.size
+                data = payload[offset : offset + size]
+                if len(data) != size:
+                    raise ValueError("truncated transaction payload")
+                offset += size
+                transactions.append(
+                    Transaction(
+                        tx_id=tx_id,
+                        origin=origin,
+                        created_at=created_at,
+                        size=size,
+                        data=bytes(data),
+                    )
+                )
+            if offset != len(payload):
+                raise ValueError("trailing bytes after block payload")
+        except struct.error as exc:
+            raise ValueError(f"malformed block payload: {exc}") from exc
+        return cls(
+            proposer=proposer,
+            epoch=epoch,
+            transactions=tuple(transactions),
+            v_array=tuple(v_array),
+        )

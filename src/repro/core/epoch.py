@@ -1,0 +1,77 @@
+"""Per-epoch bookkeeping (the paper's ``DLEpoch`` automaton, S5).
+
+One :class:`EpochState` tracks everything a node knows about one epoch:
+which binary-agreement instances have produced output, the committed set
+``S``, which committed blocks have been retrieved, and which additional
+blocks inter-node linking selected.  The node classes in
+:mod:`repro.core.node_base` drive these states; keeping them in one plain
+data object makes the protocol logic easy to inspect and test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.block import Block
+
+
+@dataclass
+class EpochState:
+    """Everything one node tracks about one epoch."""
+
+    epoch: int
+
+    #: The block this node proposed for the epoch (None before proposing, or
+    #: if the node is not proposing — e.g. a crashed/silent node).
+    own_block: Block | None = None
+    #: Virtual time at which this node began dispersing its own block.
+    proposed_at: float | None = None
+    #: True once this node has started its dispersal for the epoch.
+    dispersal_started: bool = False
+
+    #: Binary agreement outputs observed so far, keyed by proposer slot.
+    ba_outputs: dict[int, int] = field(default_factory=dict)
+    #: True once Input(0) has been sent to all BAs without an input (after
+    #: N - f instances produced Output(1)).
+    zero_votes_cast: bool = False
+    #: The committed set ``S`` — populated once every BA instance has output.
+    committed: tuple[int, ...] | None = None
+
+    #: True once retrieval of the BA-committed blocks has been kicked off.
+    retrieval_started: bool = False
+    #: Retrieved committed blocks, keyed by proposer slot.  ``None`` records a
+    #: slot whose retrieval returned BAD_UPLOADER or an ill-formatted block.
+    retrieved: dict[int, Block | None] = field(default_factory=dict)
+
+    #: True once the BA-committed blocks of this epoch have been delivered.
+    ba_blocks_delivered: bool = False
+    #: Slots selected by inter-node linking, in delivery order.
+    linked_slots: tuple[tuple[int, int], ...] = ()
+    #: Retrieved linked blocks keyed by (epoch, proposer).
+    linked_retrieved: dict[tuple[int, int], Block | None] = field(default_factory=dict)
+    #: True once linked-slot retrieval has been kicked off.
+    linking_started: bool = False
+    #: True once the whole epoch (BA blocks + linked blocks) is delivered.
+    fully_delivered: bool = False
+
+    @property
+    def agreement_done(self) -> bool:
+        """True once the committed set ``S`` is known (all BAs have output)."""
+        return self.committed is not None
+
+    @property
+    def num_positive_outputs(self) -> int:
+        """Number of BA instances that have output 1 so far."""
+        return sum(1 for value in self.ba_outputs.values() if value == 1)
+
+    @property
+    def retrieval_done(self) -> bool:
+        """True once every BA-committed block has been retrieved (or marked bad)."""
+        if self.committed is None:
+            return False
+        return all(slot in self.retrieved for slot in self.committed)
+
+    @property
+    def linking_done(self) -> bool:
+        """True once every linked slot has been retrieved (or marked bad)."""
+        return all(slot in self.linked_retrieved for slot in self.linked_slots)

@@ -1,0 +1,125 @@
+"""The transaction input queue with Nagle-style proposal rate control.
+
+Clients submit transactions to their node's mempool (Fig. 5 of the paper).
+At the beginning of every epoch the node takes transactions from the head of
+the queue to form a block.  The implementation throttles proposals the way
+the paper's prototype does (S5): a new block is proposed only when either a
+minimum delay has passed since the last proposal or a minimum amount of
+data has accumulated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.core.block import Transaction
+
+
+class Mempool:
+    """FIFO queue of pending transactions with byte accounting."""
+
+    def __init__(self, nagle_delay: float = 0.1, nagle_size: int = 150_000):
+        self.nagle_delay = nagle_delay
+        self.nagle_size = nagle_size
+        self._queue: deque[Transaction] = deque()
+        self._pending_bytes = 0
+        self._last_proposal_time = float("-inf")
+        self.total_submitted = 0
+        self.total_proposed = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, tx: Transaction) -> None:
+        """Append one transaction to the tail of the queue."""
+        self._queue.append(tx)
+        self._pending_bytes += tx.size
+        self.total_submitted += 1
+
+    def submit_many(self, txs: Iterable[Transaction]) -> None:
+        """Append a batch of transactions."""
+        for tx in txs:
+            self.submit(tx)
+
+    def requeue_front(self, txs: Iterable[Transaction]) -> None:
+        """Put transactions back at the *head* of the queue.
+
+        HoneyBadger re-proposes the transactions of a dropped block in the
+        next epoch (S4.2); putting them at the front preserves their
+        submission order relative to newer transactions.
+        """
+        for tx in reversed(list(txs)):
+            self._queue.appendleft(tx)
+            self._pending_bytes += tx.size
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Number of transactions waiting to be proposed."""
+        return len(self._queue)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Total payload bytes waiting to be proposed."""
+        return self._pending_bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def last_proposal_time(self) -> float:
+        """Virtual time of the most recent :meth:`take_batch` call."""
+        return self._last_proposal_time
+
+    # ------------------------------------------------------------------
+    # Proposal rate control (Nagle's algorithm, S5)
+    # ------------------------------------------------------------------
+
+    def ready_to_propose(self, now: float) -> bool:
+        """True when the Nagle rule allows proposing a new block at ``now``.
+
+        A node proposes when (i) ``nagle_delay`` has passed since the last
+        proposal, or (ii) at least ``nagle_size`` bytes have accumulated.
+        """
+        if self._pending_bytes >= self.nagle_size:
+            return True
+        return now - self._last_proposal_time >= self.nagle_delay
+
+    def time_until_ready(self, now: float) -> float:
+        """Seconds until the time trigger of the Nagle rule fires (0 if ready)."""
+        if self.ready_to_propose(now):
+            return 0.0
+        return max(0.0, self._last_proposal_time + self.nagle_delay - now)
+
+    def take_batch(self, max_bytes: int, now: float) -> list[Transaction]:
+        """Remove and return up to ``max_bytes`` of transactions from the head.
+
+        Always removes at least one transaction if the queue is non-empty,
+        even when that transaction alone exceeds ``max_bytes`` (a single
+        oversized transaction must not wedge the queue).
+        """
+        batch: list[Transaction] = []
+        batch_bytes = 0
+        while self._queue:
+            tx = self._queue[0]
+            if batch and batch_bytes + tx.size > max_bytes:
+                break
+            self._queue.popleft()
+            self._pending_bytes -= tx.size
+            batch.append(tx)
+            batch_bytes += tx.size
+            if batch_bytes >= max_bytes:
+                break
+        self._last_proposal_time = now
+        self.total_proposed += len(batch)
+        return batch
+
+    def mark_proposal(self, now: float) -> None:
+        """Record a proposal that took no transactions (an empty block)."""
+        self._last_proposal_time = now

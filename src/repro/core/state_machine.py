@@ -1,0 +1,86 @@
+"""A replicated state machine driven by the delivered transaction log.
+
+BFT state machine replication (S2.1) delivers a consistent, totally ordered
+log of transactions to every correct node; each node applies the log to its
+local state machine replica.  This module provides a small key-value store
+whose operations are encoded in transaction payloads, used by the examples
+and by the end-to-end tests to check that replicas converge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.block import Transaction
+
+
+def encode_operation(op: str, key: str, value: str | int | None = None) -> bytes:
+    """Serialise one key-value operation into a transaction payload.
+
+    Supported operations: ``"set"``, ``"delete"``, and ``"add"`` (numeric
+    increment).  Unknown operations are ignored by the state machine, which
+    models the paper's "spam"/invalid transactions (S4.5): they occupy
+    bandwidth but do not corrupt the replicated state.
+    """
+    return json.dumps({"op": op, "key": key, "value": value}).encode()
+
+
+def decode_operation(payload: bytes) -> dict | None:
+    """Parse a transaction payload; returns None for malformed payloads."""
+    try:
+        decoded = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(decoded, dict) or "op" not in decoded or "key" not in decoded:
+        return None
+    return decoded
+
+
+@dataclass
+class KeyValueStateMachine:
+    """A deterministic key-value store replica."""
+
+    state: dict[str, str | int] = field(default_factory=dict)
+    applied_count: int = 0
+    rejected_count: int = 0
+
+    def apply(self, tx: Transaction) -> bool:
+        """Apply one transaction; returns True if it changed (or validly read) state."""
+        operation = decode_operation(tx.data) if tx.data else None
+        if operation is None:
+            self.rejected_count += 1
+            return False
+        op = operation["op"]
+        key = operation["key"]
+        value = operation.get("value")
+        if op == "set":
+            self.state[key] = value
+        elif op == "delete":
+            self.state.pop(key, None)
+        elif op == "add":
+            if not isinstance(value, (int, float)):
+                self.rejected_count += 1
+                return False
+            current = self.state.get(key, 0)
+            if not isinstance(current, (int, float)):
+                self.rejected_count += 1
+                return False
+            self.state[key] = current + value
+        else:
+            self.rejected_count += 1
+            return False
+        self.applied_count += 1
+        return True
+
+    def apply_block(self, transactions: tuple[Transaction, ...]) -> int:
+        """Apply every transaction of a delivered block; returns the applied count."""
+        applied = 0
+        for tx in transactions:
+            if self.apply(tx):
+                applied += 1
+        return applied
+
+    def snapshot(self) -> dict[str, str | int]:
+        """A copy of the current state (replicas of correct nodes must agree)."""
+        return dict(self.state)

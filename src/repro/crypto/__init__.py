@@ -1,0 +1,20 @@
+"""Cryptographic substrates: hashing and Merkle trees.
+
+AVID-M (S3 of the paper) commits to the array of erasure-coded chunks with
+a Merkle tree and ships one Merkle proof with every chunk, so this package
+provides a compact binary Merkle tree with inclusion proofs, plus the hash
+helpers used throughout the codebase.
+"""
+
+from repro.crypto.hashing import DIGEST_SIZE, hash_data, hash_pair
+from repro.crypto.merkle import MerkleProof, MerkleTree, merkle_root, verify_proof
+
+__all__ = [
+    "DIGEST_SIZE",
+    "MerkleProof",
+    "MerkleTree",
+    "hash_data",
+    "hash_pair",
+    "merkle_root",
+    "verify_proof",
+]

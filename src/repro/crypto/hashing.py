@@ -1,0 +1,31 @@
+"""Hash helpers.
+
+The paper uses a single security parameter ``lambda = 32`` bytes for hashes
+(S3.2).  We use SHA-256 everywhere, with domain separation between leaf and
+interior Merkle nodes to rule out second-preimage tricks between levels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Size of every digest produced by this module, in bytes (``lambda`` in the paper).
+DIGEST_SIZE = 32
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def hash_data(data: bytes) -> bytes:
+    """Hash raw data (used for Merkle leaves and content digests)."""
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def hash_pair(left: bytes, right: bytes) -> bytes:
+    """Hash the concatenation of two child digests (interior Merkle nodes)."""
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+def hash_leaves(leaves: list[bytes]) -> list[bytes]:
+    """Hash a list of leaf payloads."""
+    return [hash_data(leaf) for leaf in leaves]

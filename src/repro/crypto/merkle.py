@@ -1,0 +1,96 @@
+"""Binary Merkle tree with inclusion proofs.
+
+AVID-M commits to the array of ``N`` erasure-coded chunks by the root of a
+Merkle tree built over them (Fig. 3 of the paper).  The ``i``-th server
+receives its chunk together with a proof that it is the ``i``-th leaf under
+that root, and verifies the proof before accepting the chunk.
+
+The tree pads the leaf layer to the next power of two with a fixed empty
+digest so that proof sizes are ``ceil(log2 N)`` siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import DIGEST_SIZE, hash_data, hash_pair
+
+_EMPTY_LEAF = hash_data(b"\x00merkle-padding")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf.
+
+    Attributes:
+        index: position of the leaf among the original (unpadded) leaves.
+        siblings: digests of the sibling nodes from the leaf up to the root.
+    """
+
+    index: int
+    siblings: tuple[bytes, ...]
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes this proof occupies on the wire (index encoded in 4 bytes)."""
+        return 4 + DIGEST_SIZE * len(self.siblings)
+
+
+class MerkleTree:
+    """A Merkle tree over a fixed list of leaf payloads."""
+
+    def __init__(self, leaves: list[bytes]):
+        if not leaves:
+            raise ValueError("Merkle tree needs at least one leaf")
+        self._num_leaves = len(leaves)
+        width = 1
+        while width < len(leaves):
+            width *= 2
+        level = [hash_data(leaf) for leaf in leaves]
+        level.extend([_EMPTY_LEAF] * (width - len(leaves)))
+        self._levels: list[list[bytes]] = [level]
+        while len(level) > 1:
+            level = [
+                hash_pair(level[i], level[i + 1]) for i in range(0, len(level), 2)
+            ]
+            self._levels.append(level)
+
+    @property
+    def root(self) -> bytes:
+        """Root digest of the tree."""
+        return self._levels[-1][0]
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of original (unpadded) leaves."""
+        return self._num_leaves
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build the inclusion proof for leaf ``index``."""
+        if not 0 <= index < self._num_leaves:
+            raise IndexError(f"leaf index {index} out of range [0, {self._num_leaves})")
+        siblings: list[bytes] = []
+        pos = index
+        for level in self._levels[:-1]:
+            sibling_pos = pos ^ 1
+            siblings.append(level[sibling_pos])
+            pos //= 2
+        return MerkleProof(index=index, siblings=tuple(siblings))
+
+
+def merkle_root(leaves: list[bytes]) -> bytes:
+    """Convenience helper: the root of a tree over ``leaves``."""
+    return MerkleTree(leaves).root
+
+
+def verify_proof(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+    """Check that ``leaf`` is the ``proof.index``-th leaf under ``root``."""
+    digest = hash_data(leaf)
+    pos = proof.index
+    for sibling in proof.siblings:
+        if pos % 2 == 0:
+            digest = hash_pair(digest, sibling)
+        else:
+            digest = hash_pair(sibling, digest)
+        pos //= 2
+    return digest == root

@@ -1,0 +1,13 @@
+"""Erasure-coding substrate: GF(256) arithmetic and Reed-Solomon codes.
+
+DispersedLedger's AVID-M disperses every block with an ``(N - 2f, N)``
+maximum-distance-separable erasure code (Fig. 3 of the paper).  The paper's
+prototype uses a Go Reed-Solomon library; this package provides an
+equivalent systematic Reed-Solomon code built from scratch on GF(256)
+arithmetic, accelerated with numpy table lookups.
+"""
+
+from repro.erasure.gf256 import GF256
+from repro.erasure.rs_code import ReedSolomonCode
+
+__all__ = ["GF256", "ReedSolomonCode"]

@@ -1,0 +1,184 @@
+"""Arithmetic over the finite field GF(2^8).
+
+The field is realised as GF(2)[x] modulo the AES polynomial
+``x^8 + x^4 + x^3 + x + 1`` (0x11B).  Multiplication and division go through
+exponential/logarithm tables keyed by the generator ``3``, which lets the
+Reed-Solomon encoder vectorise products of whole shards with numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_PRIMITIVE_POLY = 0x11B
+_GENERATOR = 0x03
+_FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(2 * _FIELD_SIZE, dtype=np.int32)
+    log = np.zeros(_FIELD_SIZE, dtype=np.int32)
+    value = 1
+    for power in range(_FIELD_SIZE - 1):
+        exp[power] = value
+        log[value] = power
+        # multiply value by the generator (0x03 == x + 1), i.e. value*2 ^ value
+        doubled = value << 1
+        if doubled & 0x100:
+            doubled ^= _PRIMITIVE_POLY
+        value = doubled ^ value
+    # duplicate the table so that exp[a + b] never needs a modulo reduction
+    for power in range(_FIELD_SIZE - 1, 2 * _FIELD_SIZE):
+        exp[power] = exp[power - (_FIELD_SIZE - 1)]
+    return exp, log
+
+
+_EXP_TABLE, _LOG_TABLE = _build_tables()
+
+
+class GF256:
+    """Stateless helpers for GF(2^8) arithmetic on scalars, vectors and matrices."""
+
+    exp_table = _EXP_TABLE
+    log_table = _LOG_TABLE
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        return a ^ b
+
+    @staticmethod
+    def sub(a: int, b: int) -> int:
+        """Field subtraction (identical to addition in characteristic 2)."""
+        return a ^ b
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        """Field multiplication via log/exp tables."""
+        if a == 0 or b == 0:
+            return 0
+        return int(_EXP_TABLE[_LOG_TABLE[a] + _LOG_TABLE[b]])
+
+    @staticmethod
+    def inv(a: int) -> int:
+        """Multiplicative inverse of a non-zero field element."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return int(_EXP_TABLE[(_FIELD_SIZE - 1) - _LOG_TABLE[a]])
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return int(_EXP_TABLE[_LOG_TABLE[a] - _LOG_TABLE[b] + (_FIELD_SIZE - 1)])
+
+    @staticmethod
+    def pow(a: int, exponent: int) -> int:
+        """Raise a field element to a non-negative integer power."""
+        if exponent == 0:
+            return 1
+        if a == 0:
+            return 0
+        log_a = int(_LOG_TABLE[a])
+        return int(_EXP_TABLE[(log_a * exponent) % (_FIELD_SIZE - 1)])
+
+    # --- matrix helpers -------------------------------------------------
+
+    @staticmethod
+    def mat_vec_rows(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Multiply ``matrix`` (m x k, uint8) by ``data`` (k x width, uint8).
+
+        Every element product is carried out in GF(256); sums are XORs.  This
+        is the hot path of Reed-Solomon encoding, so it is vectorised with
+        numpy: for every non-zero matrix coefficient the whole data row is
+        multiplied by a table lookup and XOR-accumulated.
+        """
+        m, k = matrix.shape
+        if data.shape[0] != k:
+            raise ValueError(f"matrix has {k} columns but data has {data.shape[0]} rows")
+        width = data.shape[1]
+        out = np.zeros((m, width), dtype=np.uint8)
+        data_logs = _LOG_TABLE[data]
+        nonzero_mask = data != 0
+        for row in range(m):
+            acc = np.zeros(width, dtype=np.uint8)
+            for col in range(k):
+                coeff = int(matrix[row, col])
+                if coeff == 0:
+                    continue
+                if coeff == 1:
+                    acc ^= data[col]
+                    continue
+                coeff_log = int(_LOG_TABLE[coeff])
+                product = _EXP_TABLE[data_logs[col] + coeff_log].astype(np.uint8)
+                product = np.where(nonzero_mask[col], product, 0).astype(np.uint8)
+                acc ^= product
+            out[row] = acc
+        return out
+
+    @staticmethod
+    def mat_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Multiply two small matrices over GF(256) (used to build code matrices)."""
+        rows, inner = a.shape
+        inner_b, cols = b.shape
+        if inner != inner_b:
+            raise ValueError("incompatible matrix shapes")
+        out = np.zeros((rows, cols), dtype=np.uint8)
+        for i in range(rows):
+            for j in range(cols):
+                acc = 0
+                for t in range(inner):
+                    acc ^= GF256.mul(int(a[i, t]), int(b[t, j]))
+                out[i, j] = acc
+        return out
+
+    @staticmethod
+    def mat_inv(matrix: np.ndarray) -> np.ndarray:
+        """Invert a square matrix over GF(256) by Gauss-Jordan elimination."""
+        size = matrix.shape[0]
+        if matrix.shape[1] != size:
+            raise ValueError("only square matrices can be inverted")
+        work = matrix.astype(np.int32).copy()
+        inverse = np.eye(size, dtype=np.int32)
+        for col in range(size):
+            pivot_row = None
+            for row in range(col, size):
+                if work[row, col] != 0:
+                    pivot_row = row
+                    break
+            if pivot_row is None:
+                raise ValueError("matrix is singular over GF(256)")
+            if pivot_row != col:
+                work[[col, pivot_row]] = work[[pivot_row, col]]
+                inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+            pivot_inv = GF256.inv(int(work[col, col]))
+            for j in range(size):
+                work[col, j] = GF256.mul(int(work[col, j]), pivot_inv)
+                inverse[col, j] = GF256.mul(int(inverse[col, j]), pivot_inv)
+            for row in range(size):
+                if row == col or work[row, col] == 0:
+                    continue
+                factor = int(work[row, col])
+                for j in range(size):
+                    work[row, j] ^= GF256.mul(factor, int(work[col, j]))
+                    inverse[row, j] ^= GF256.mul(factor, int(inverse[col, j]))
+        return inverse.astype(np.uint8)
+
+    @staticmethod
+    def vandermonde(rows: int, cols: int) -> np.ndarray:
+        """Build a ``rows x cols`` Vandermonde matrix with evaluation points 0..rows-1.
+
+        Row ``i`` is ``[i^0, i^1, ..., i^(cols-1)]`` in GF(256).  Any ``cols``
+        distinct rows are linearly independent, which is what makes the
+        derived Reed-Solomon code MDS.
+        """
+        if rows > 256:
+            raise ValueError("GF(256) Vandermonde supports at most 256 rows")
+        out = np.zeros((rows, cols), dtype=np.uint8)
+        for i in range(rows):
+            for j in range(cols):
+                out[i, j] = GF256.pow(i, j)
+        return out

@@ -1,0 +1,115 @@
+"""Systematic Reed-Solomon erasure code over GF(256).
+
+The code is the ``(k, n)`` MDS code used by AVID-M with ``k = N - 2f`` and
+``n = N``: a block is split into ``k`` data shards, ``n`` coded shards are
+produced (the first ``k`` equal the data shards), and any ``k`` of the ``n``
+shards reconstruct the block.
+
+Construction: take an ``n x k`` Vandermonde matrix ``V`` over GF(256) and
+multiply it by the inverse of its top ``k x k`` sub-matrix.  The result has
+an identity top block (hence *systematic*) and keeps the MDS property
+because every ``k``-row sub-matrix of ``V`` is invertible.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, DecodingError
+from repro.erasure.gf256 import GF256
+
+_LENGTH_HEADER = struct.Struct(">I")
+
+
+class ReedSolomonCode:
+    """A ``(k, n)`` systematic Reed-Solomon code over GF(256).
+
+    Args:
+        data_shards: ``k``, the number of shards sufficient for reconstruction.
+        total_shards: ``n``, the total number of shards produced by encoding.
+    """
+
+    def __init__(self, data_shards: int, total_shards: int):
+        if data_shards < 1:
+            raise ConfigurationError(f"data_shards must be >= 1, got {data_shards}")
+        if total_shards < data_shards:
+            raise ConfigurationError(
+                f"total_shards ({total_shards}) must be >= data_shards ({data_shards})"
+            )
+        if total_shards > 255:
+            raise ConfigurationError(
+                f"GF(256) Reed-Solomon supports at most 255 shards, got {total_shards}"
+            )
+        self.data_shards = data_shards
+        self.total_shards = total_shards
+        vandermonde = GF256.vandermonde(total_shards, data_shards)
+        top_inverse = GF256.mat_inv(vandermonde[:data_shards, :])
+        self._matrix = GF256.mat_mul(vandermonde, top_inverse)
+
+    # --- shard-level API -------------------------------------------------
+
+    def shard_size(self, block_size: int) -> int:
+        """Size of every shard for a block of ``block_size`` bytes.
+
+        A 4-byte length header is prepended before padding so that decoding
+        recovers the exact original block.
+        """
+        payload = block_size + _LENGTH_HEADER.size
+        return max(1, -(-payload // self.data_shards))
+
+    def encode(self, block: bytes) -> list[bytes]:
+        """Encode ``block`` into ``n`` equally sized shards."""
+        shard_size = self.shard_size(len(block))
+        padded = _LENGTH_HEADER.pack(len(block)) + block
+        padded = padded.ljust(self.data_shards * shard_size, b"\x00")
+        data = np.frombuffer(padded, dtype=np.uint8).reshape(
+            self.data_shards, shard_size
+        )
+        coded = GF256.mat_vec_rows(self._matrix, data)
+        return [coded[i].tobytes() for i in range(self.total_shards)]
+
+    def decode(self, shards: dict[int, bytes]) -> bytes:
+        """Reconstruct the original block from any ``k`` shards.
+
+        Args:
+            shards: mapping from shard index to shard bytes; at least ``k``
+                entries with identical lengths are required.
+
+        Raises:
+            DecodingError: if fewer than ``k`` shards are supplied, the shard
+                lengths disagree, the indices are out of range, or the decoded
+                length header is inconsistent with the shard capacity.
+        """
+        if len(shards) < self.data_shards:
+            raise DecodingError(
+                f"need at least {self.data_shards} shards, got {len(shards)}"
+            )
+        indices = sorted(shards)[: self.data_shards]
+        if indices[0] < 0 or indices[-1] >= self.total_shards:
+            raise DecodingError(f"shard index out of range: {indices}")
+        shard_size = len(shards[indices[0]])
+        if shard_size == 0:
+            raise DecodingError("shards must be non-empty")
+        if any(len(shards[i]) != shard_size for i in indices):
+            raise DecodingError("all shards must have the same length")
+
+        sub_matrix = self._matrix[indices, :]
+        inverse = GF256.mat_inv(sub_matrix)
+        stacked = np.stack(
+            [np.frombuffer(shards[i], dtype=np.uint8) for i in indices]
+        )
+        data = GF256.mat_vec_rows(inverse, stacked)
+        payload = data.tobytes()
+        (length,) = _LENGTH_HEADER.unpack_from(payload)
+        capacity = self.data_shards * shard_size - _LENGTH_HEADER.size
+        if length > capacity:
+            raise DecodingError(
+                f"decoded length header {length} exceeds shard capacity {capacity}"
+            )
+        return payload[_LENGTH_HEADER.size : _LENGTH_HEADER.size + length]
+
+    def reencode(self, block: bytes) -> list[bytes]:
+        """Alias of :meth:`encode`, named for the AVID-M retrieval check."""
+        return self.encode(block)

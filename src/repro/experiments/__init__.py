@@ -1,0 +1,60 @@
+"""Experiment harness: one runner per figure of the paper's evaluation.
+
+==================  =======================================================
+Paper reference      Runner
+==================  =======================================================
+Fig. 2 (S3.2)        :func:`repro.experiments.fig02.vid_cost_curve`
+Fig. 8 (S6.2)        :func:`repro.experiments.geo.run_geo_throughput`
+Fig. 9 (S6.2)        :func:`repro.experiments.geo.progress_timelines`
+Fig. 10 (S6.2)       :func:`repro.experiments.latency.run_latency_sweep`
+Fig. 11a (S6.3)      :func:`repro.experiments.controlled.run_spatial_variation`
+Fig. 11b (S6.3)      :func:`repro.experiments.controlled.run_temporal_variation`
+Fig. 12 (S6.4)       :func:`repro.experiments.scalability.model_sweep` /
+                     :func:`repro.experiments.scalability.simulate_point`
+Fig. 13 (S6.4)       same sweep (``dispersal_fraction`` field)
+Fig. 14 (App. A.1)   :func:`repro.experiments.latency.run_latency_metric_comparison`
+Fig. 15 (App. A.2)   :func:`repro.experiments.geo.run_vultr_throughput`
+Fig. 16 (App. A.3)   :class:`repro.workload.traces.GaussMarkovProcess`
+Headline (S1)        :func:`repro.experiments.summary.run_headline_summary`
+==================  =======================================================
+
+The benchmark scripts under ``benchmarks/`` call these runners with reduced
+default durations so that ``pytest benchmarks/ --benchmark-only`` completes
+in minutes; every runner takes a ``duration`` argument for longer runs.
+"""
+
+from repro.experiments.controlled import run_spatial_variation, run_temporal_variation
+from repro.experiments.fig02 import measure_avid_m_dispersal_cost, vid_cost_curve
+from repro.experiments.geo import progress_timelines, run_geo_throughput, run_vultr_throughput
+from repro.experiments.latency import run_latency_metric_comparison, run_latency_sweep
+from repro.experiments.runner import (
+    PROTOCOLS,
+    ExperimentResult,
+    WorkloadSpec,
+    run_experiment,
+    run_protocol_comparison,
+)
+from repro.experiments.scalability import model_sweep, simulate_point, validate_cost_model
+from repro.experiments.summary import headline_from_results, run_headline_summary
+
+__all__ = [
+    "ExperimentResult",
+    "PROTOCOLS",
+    "WorkloadSpec",
+    "headline_from_results",
+    "measure_avid_m_dispersal_cost",
+    "model_sweep",
+    "progress_timelines",
+    "run_experiment",
+    "run_geo_throughput",
+    "run_headline_summary",
+    "run_latency_metric_comparison",
+    "run_latency_sweep",
+    "run_protocol_comparison",
+    "run_spatial_variation",
+    "run_temporal_variation",
+    "run_vultr_throughput",
+    "simulate_point",
+    "validate_cost_model",
+    "vid_cost_curve",
+]

@@ -1,0 +1,159 @@
+"""Fig. 10 and Fig. 14 — confirmation latency under varying offered load.
+
+Fig. 10 sweeps the per-node offered load and reports the median (with 5th /
+95th percentile error bars) confirmation latency of *local* transactions at
+two representative servers: one well-connected ("Ohio") and one with limited
+connectivity ("Mumbai").  The paper's shape: HoneyBadger's latency grows
+roughly linearly with load because proposing and confirming an epoch happen
+in lockstep (so blocks, and therefore epochs, keep growing); DispersedLedger
+stays near-flat until very high load.
+
+Fig. 14 (Appendix A.1) justifies the local-transaction metric by comparing
+latency computed over all transactions vs local-only at systems running
+near capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import NodeConfig
+from repro.experiments.runner import ExperimentResult, WorkloadSpec, run_experiment
+from repro.metrics.stats import Summary
+from repro.workload.cities import AWS_CITIES, CityProfile, city_network_config
+
+#: Index of the well-connected server highlighted in Fig. 10.
+FAST_CITY = "Ohio"
+#: Index of the poorly-connected server highlighted in Fig. 10.
+SLOW_CITY = "Mumbai"
+
+
+def city_index(cities: tuple[CityProfile, ...], name: str) -> int:
+    """The index of the city called ``name`` in a testbed profile."""
+    for index, city in enumerate(cities):
+        if city.name == name:
+            return index
+    raise KeyError(f"no city named {name!r}")
+
+
+@dataclass
+class LatencyPoint:
+    """Latency summaries of one protocol at one offered load."""
+
+    protocol: str
+    load_bytes_per_second: float
+    #: Per-node local-transaction latency summaries.
+    local: list[Summary | None]
+    #: Per-node all-transaction latency summaries.
+    all_tx: list[Summary | None]
+    mean_throughput: float
+    mean_block_size: float
+
+    def median_at(self, node: int, local_only: bool = True) -> float | None:
+        summary = (self.local if local_only else self.all_tx)[node]
+        return None if summary is None else summary.p50
+
+    def tail_at(self, node: int, q: str = "p95", local_only: bool = True) -> float | None:
+        summary = (self.local if local_only else self.all_tx)[node]
+        return None if summary is None else getattr(summary, q)
+
+
+@dataclass
+class LatencySweepResult:
+    """Fig. 10 data: latency of each protocol across a load sweep."""
+
+    cities: tuple[CityProfile, ...]
+    loads: tuple[float, ...]
+    points: dict[str, list[LatencyPoint]]
+
+    def series(self, protocol: str, node: int, local_only: bool = True) -> list[tuple[float, float | None]]:
+        """``(load, median latency)`` pairs for one node (one line of Fig. 10)."""
+        return [
+            (point.load_bytes_per_second, point.median_at(node, local_only))
+            for point in self.points[protocol]
+        ]
+
+
+def run_latency_sweep(
+    loads: tuple[float, ...] = (1_000_000.0, 3_000_000.0, 6_000_000.0),
+    protocols: tuple[str, ...] = ("dl", "hb"),
+    cities: tuple[CityProfile, ...] = AWS_CITIES,
+    duration: float = 40.0,
+    warmup: float = 5.0,
+    seed: int = 0,
+) -> LatencySweepResult:
+    """Sweep per-node offered load and record confirmation latency (Fig. 10)."""
+    network_duration = duration
+    points: dict[str, list[LatencyPoint]] = {protocol: [] for protocol in protocols}
+    for protocol in protocols:
+        for load in loads:
+            network_config = city_network_config(cities, network_duration, seed=seed)
+            result = run_experiment(
+                protocol,
+                network_config,
+                duration,
+                workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=load),
+                node_config=NodeConfig(max_block_size=4_000_000),
+                seed=seed,
+                warmup=warmup,
+            )
+            points[protocol].append(
+                LatencyPoint(
+                    protocol=protocol,
+                    load_bytes_per_second=load,
+                    local=result.latency_local,
+                    all_tx=result.latency_all,
+                    mean_throughput=result.mean_throughput,
+                    mean_block_size=result.mean_block_size,
+                )
+            )
+    return LatencySweepResult(cities=cities, loads=tuple(loads), points=points)
+
+
+@dataclass
+class LatencyMetricComparison:
+    """Fig. 14 data: all-transaction vs local-transaction latency near capacity."""
+
+    protocol: str
+    load_bytes_per_second: float
+    result: ExperimentResult
+
+    def table(self) -> list[dict[str, float | int | None]]:
+        rows = []
+        for node in range(self.result.num_nodes):
+            local = self.result.latency_local[node]
+            all_tx = self.result.latency_all[node]
+            rows.append(
+                {
+                    "node": node,
+                    "local_p50": None if local is None else local.p50,
+                    "local_p95": None if local is None else local.p95,
+                    "all_p50": None if all_tx is None else all_tx.p50,
+                    "all_p95": None if all_tx is None else all_tx.p95,
+                }
+            )
+        return rows
+
+
+def run_latency_metric_comparison(
+    protocol: str,
+    load_bytes_per_second: float,
+    cities: tuple[CityProfile, ...] = AWS_CITIES,
+    duration: float = 40.0,
+    warmup: float = 5.0,
+    seed: int = 0,
+) -> LatencyMetricComparison:
+    """Run one protocol near capacity and compare the two latency metrics (Fig. 14)."""
+    network_config = city_network_config(cities, duration, seed=seed)
+    result = run_experiment(
+        protocol,
+        network_config,
+        duration,
+        workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=load_bytes_per_second),
+        node_config=NodeConfig(max_block_size=4_000_000),
+        seed=seed,
+        warmup=warmup,
+    )
+    return LatencyMetricComparison(
+        protocol=protocol, load_bytes_per_second=load_bytes_per_second, result=result
+    )

@@ -1,0 +1,246 @@
+"""The common experiment driver.
+
+Every figure-regenerating experiment is a thin wrapper around
+:func:`run_experiment`: build a simulated network, attach N nodes of the
+protocol under test, attach a workload generator per node, run for a fixed
+amount of virtual time, and summarise what the metrics collector saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.ba.coin import CommonCoin
+from repro.common.params import ProtocolParams
+from repro.core.config import NodeConfig
+from repro.core.node import DLCoupledNode, DispersedLedgerNode
+from repro.core.node_base import BFTNodeBase
+from repro.honeybadger.node import HoneyBadgerLinkNode, HoneyBadgerNode
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.stats import Summary
+from repro.sim.events import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.workload.txgen import (
+    DEFAULT_TX_SIZE,
+    PoissonTransactionGenerator,
+    SaturatingTransactionGenerator,
+)
+
+#: The protocols the paper's evaluation compares (S6), keyed by the labels
+#: used throughout the experiments and benchmark output.
+PROTOCOLS: dict[str, type[BFTNodeBase]] = {
+    "dl": DispersedLedgerNode,
+    "dl-coupled": DLCoupledNode,
+    "hb": HoneyBadgerNode,
+    "hb-link": HoneyBadgerLinkNode,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What load the clients offer to each node.
+
+    ``kind`` is either ``"saturating"`` (infinitely-backlogged throughput
+    runs, S6.2) or ``"poisson"`` (latency-vs-load runs, S6.2).  For Poisson
+    workloads ``rate_bytes_per_second`` is the *per-node* offered load.
+    """
+
+    kind: str = "saturating"
+    rate_bytes_per_second: float = 1_000_000.0
+    tx_size: int = DEFAULT_TX_SIZE
+    target_pending_bytes: int = 8_000_000
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("saturating", "poisson"):
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment run produces."""
+
+    protocol: str
+    num_nodes: int
+    duration: float
+    #: Per-node confirmed payload bytes per second.
+    throughputs: list[float]
+    #: Per-node latency summaries over local transactions (None if no sample).
+    latency_local: list[Summary | None]
+    #: Per-node latency summaries over all transactions (None if no sample).
+    latency_all: list[Summary | None]
+    #: Per-node fraction of received bytes that is dispersal-phase traffic.
+    dispersal_fractions: list[float]
+    #: Per-node cumulative confirmed-bytes timelines (Fig. 9).
+    timelines: list[list[tuple[float, int]]]
+    #: Per-node delivered epoch frontiers at the end of the run.
+    delivered_epochs: list[int]
+    #: Per-node dispersal (proposal) epoch frontiers at the end of the run.
+    current_epochs: list[int]
+    #: Mean proposed block size in bytes across all nodes (batch size, S6.2).
+    mean_block_size: float
+    #: Number of simulator events processed (performance accounting).
+    events_processed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def mean_throughput(self) -> float:
+        return sum(self.throughputs) / len(self.throughputs)
+
+    @property
+    def min_throughput(self) -> float:
+        return min(self.throughputs)
+
+    @property
+    def max_throughput(self) -> float:
+        return max(self.throughputs)
+
+    def median_latency(self, node: int, local_only: bool = True) -> float | None:
+        summary = (self.latency_local if local_only else self.latency_all)[node]
+        return None if summary is None else summary.p50
+
+
+def build_nodes(
+    protocol: str,
+    params: ProtocolParams,
+    network: Network,
+    node_config: NodeConfig,
+    collector: MetricsCollector,
+    coin_seed: bytes = b"dispersedledger-coin",
+    max_epochs: int | None = None,
+) -> list[BFTNodeBase]:
+    """Instantiate and attach one node of ``protocol`` per network endpoint."""
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}")
+    node_class = PROTOCOLS[protocol]
+    coin = CommonCoin(seed=coin_seed)
+    nodes: list[BFTNodeBase] = []
+    for node_id in range(params.n):
+        ctx = network_context(network, node_id)
+        node = node_class(
+            node_id,
+            params,
+            ctx,
+            config=node_config,
+            coin=coin,
+            max_epochs=max_epochs,
+            on_deliver=lambda nid, entry: collector.record_delivery(nid, entry),
+            on_propose=lambda nid, block, now: collector.record_proposal(nid, block, now),
+        )
+        network.attach(node_id, node)
+        nodes.append(node)
+    return nodes
+
+
+def network_context(network: Network, node_id: int):
+    """Build a :class:`NodeContext` bound to the simulated network."""
+    from repro.sim.context import NodeContext
+
+    return NodeContext(node_id, network, network.sim)
+
+
+def run_experiment(
+    protocol: str,
+    network_config: NetworkConfig,
+    duration: float,
+    workload: WorkloadSpec | None = None,
+    node_config: NodeConfig | None = None,
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+    warmup: float = 0.0,
+) -> ExperimentResult:
+    """Run one protocol on one simulated network and summarise the outcome.
+
+    Args:
+        protocol: one of ``"dl"``, ``"dl-coupled"``, ``"hb"``, ``"hb-link"``.
+        network_config: the simulated WAN (delays + bandwidth traces).
+        duration: virtual seconds to simulate.
+        workload: offered load (defaults to a saturating workload).
+        node_config: node behaviour knobs (defaults to the virtual data plane
+            with the paper's Nagle parameters).
+        params: protocol parameters (defaults to the maximum-``f`` setting
+            for the network's node count).
+        seed: seed for the workload generators.
+        warmup: virtual seconds excluded from the throughput denominator
+            (ramp-up of the first epochs).
+    """
+    workload = workload or WorkloadSpec()
+    node_config = node_config or NodeConfig()
+    params = params or ProtocolParams.for_n(network_config.num_nodes)
+    if params.n != network_config.num_nodes:
+        raise ValueError(
+            f"params.n={params.n} does not match network nodes={network_config.num_nodes}"
+        )
+    if duration <= warmup:
+        raise ValueError("duration must exceed warmup")
+
+    sim = Simulator()
+    network = Network(sim, network_config)
+    collector = MetricsCollector(params.n)
+    nodes = build_nodes(protocol, params, network, node_config, collector)
+
+    generators = []
+    for node in nodes:
+        if workload.kind == "saturating":
+            generator: object = SaturatingTransactionGenerator(
+                sim,
+                node,
+                target_pending_bytes=workload.target_pending_bytes,
+                tx_size=workload.tx_size,
+            )
+        else:
+            generator = PoissonTransactionGenerator(
+                sim,
+                node,
+                rate_bytes_per_second=workload.rate_bytes_per_second,
+                tx_size=workload.tx_size,
+                seed=seed * 1_000 + node.node_id,
+            )
+        generators.append(generator)
+        sim.schedule(0.0, generator.start)
+
+    network.start()
+    sim.run(until=duration)
+
+    block_sizes = [
+        size for metrics in collector.per_node for size in metrics.proposed_block_sizes
+    ]
+    mean_block_size = sum(block_sizes) / len(block_sizes) if block_sizes else 0.0
+    return ExperimentResult(
+        protocol=protocol,
+        num_nodes=params.n,
+        duration=duration,
+        throughputs=collector.throughputs(duration, warmup=warmup),
+        latency_local=collector.latency_summaries(local_only=True),
+        latency_all=collector.latency_summaries(local_only=False),
+        dispersal_fractions=[stats.dispersal_fraction for stats in network.stats],
+        timelines=collector.timelines(),
+        delivered_epochs=[node.delivered_epoch for node in nodes],
+        current_epochs=[node.current_epoch for node in nodes],
+        mean_block_size=mean_block_size,
+        events_processed=sim.processed_events,
+    )
+
+
+def run_protocol_comparison(
+    protocols: Sequence[str],
+    network_config: NetworkConfig,
+    duration: float,
+    workload: WorkloadSpec | None = None,
+    node_config: NodeConfig | None = None,
+    seed: int = 0,
+    warmup: float = 0.0,
+) -> dict[str, ExperimentResult]:
+    """Run several protocols on identical network conditions and workloads."""
+    results = {}
+    for protocol in protocols:
+        results[protocol] = run_experiment(
+            protocol,
+            network_config,
+            duration,
+            workload=workload,
+            node_config=node_config,
+            seed=seed,
+            warmup=warmup,
+        )
+    return results

@@ -1,0 +1,159 @@
+"""Fig. 12 and Fig. 13 — scalability with the cluster size (S6.4).
+
+The paper measures DispersedLedger at N = 16..128 nodes (10 MB/s per-node
+caps, 100 ms one-way delays, fixed 500 KB / 1 MB blocks) and reports:
+
+* Fig. 12: system throughput drops only slightly as N grows 8x, because the
+  O(N^2) binary-agreement overhead takes a larger share of a constant-sized
+  block; larger blocks amortise the fixed cost better.
+* Fig. 13: the fraction of a node's traffic spent on dispersal falls with N
+  (each node holds a ``1/(N-2f)`` slice) and with block size.
+
+Message-level simulation is used for the small cluster sizes and the
+byte-accurate analytical model (:mod:`repro.experiments.cost_model`) for the
+full 16..128 sweep; :func:`validate_cost_model` quantifies how closely the
+model tracks the simulator where both are available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import ProtocolParams
+from repro.core.config import NodeConfig
+from repro.experiments.cost_model import ThroughputEstimate, estimate_throughput
+from repro.experiments.runner import ExperimentResult, WorkloadSpec, run_experiment
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.network import NetworkConfig
+from repro.workload.traces import MB
+
+#: Cluster sizes of the paper's scalability sweep.
+PAPER_CLUSTER_SIZES = (16, 32, 64, 128)
+#: Block sizes of the paper's scalability sweep.
+PAPER_BLOCK_SIZES = (500_000, 1_000_000)
+#: Per-node bandwidth cap of the scalability experiments (10 MB/s).
+SCALABILITY_BANDWIDTH = 10 * MB
+#: One-way propagation delay of the scalability experiments.
+SCALABILITY_DELAY = 0.1
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One point of the Fig. 12 / Fig. 13 sweep."""
+
+    n: int
+    block_size: int
+    throughput: float
+    dispersal_fraction: float
+    source: str  # "model" or "simulation"
+
+
+def model_sweep(
+    cluster_sizes: tuple[int, ...] = PAPER_CLUSTER_SIZES,
+    block_sizes: tuple[int, ...] = PAPER_BLOCK_SIZES,
+    bandwidth: float = SCALABILITY_BANDWIDTH,
+    protocol: str = "dl",
+) -> list[ScalabilityPoint]:
+    """The full analytic sweep over cluster and block sizes."""
+    points = []
+    for block_size in block_sizes:
+        for n in cluster_sizes:
+            params = ProtocolParams.for_n(n)
+            estimate: ThroughputEstimate = estimate_throughput(
+                params, block_size, bandwidth, one_way_delay=SCALABILITY_DELAY, protocol=protocol
+            )
+            points.append(
+                ScalabilityPoint(
+                    n=n,
+                    block_size=block_size,
+                    throughput=estimate.throughput,
+                    dispersal_fraction=estimate.dispersal_fraction,
+                    source="model",
+                )
+            )
+    return points
+
+
+def fixed_block_network(n: int, bandwidth: float = SCALABILITY_BANDWIDTH) -> NetworkConfig:
+    """The controlled network of the scalability experiments."""
+    traces = [ConstantBandwidth(bandwidth) for _ in range(n)]
+    return NetworkConfig(
+        num_nodes=n,
+        propagation_delay=SCALABILITY_DELAY,
+        egress_traces=list(traces),
+        ingress_traces=list(traces),
+    )
+
+
+def simulate_point(
+    n: int,
+    block_size: int,
+    duration: float = 30.0,
+    bandwidth: float = SCALABILITY_BANDWIDTH,
+    protocol: str = "dl",
+    seed: int = 0,
+) -> ScalabilityPoint:
+    """Message-level measurement of one (N, block size) point.
+
+    The block size is pinned by configuring the node's maximum block size and
+    offering a saturating workload, mirroring how the paper fixes block sizes
+    for this experiment.
+    """
+    result: ExperimentResult = run_experiment(
+        protocol,
+        fixed_block_network(n, bandwidth),
+        duration,
+        workload=WorkloadSpec(kind="saturating"),
+        node_config=NodeConfig(max_block_size=block_size, nagle_size=block_size),
+        params=ProtocolParams.for_n(n),
+        seed=seed,
+        warmup=duration * 0.25,
+    )
+    mean_fraction = sum(result.dispersal_fractions) / len(result.dispersal_fractions)
+    return ScalabilityPoint(
+        n=n,
+        block_size=block_size,
+        throughput=result.mean_throughput,
+        dispersal_fraction=mean_fraction,
+        source="simulation",
+    )
+
+
+@dataclass(frozen=True)
+class ModelValidation:
+    """Model-vs-simulation comparison at one point (used in EXPERIMENTS.md)."""
+
+    n: int
+    block_size: int
+    simulated_throughput: float
+    modelled_throughput: float
+    simulated_fraction: float
+    modelled_fraction: float
+
+    @property
+    def throughput_ratio(self) -> float:
+        if self.modelled_throughput == 0:
+            return float("inf")
+        return self.simulated_throughput / self.modelled_throughput
+
+
+def validate_cost_model(
+    n: int = 16,
+    block_size: int = 500_000,
+    duration: float = 30.0,
+    protocol: str = "dl",
+) -> ModelValidation:
+    """Run both the simulator and the model at a small N and compare them."""
+    simulated = simulate_point(n, block_size, duration=duration, protocol=protocol)
+    params = ProtocolParams.for_n(n)
+    modelled = estimate_throughput(
+        params, block_size, SCALABILITY_BANDWIDTH, one_way_delay=SCALABILITY_DELAY, protocol=protocol
+    )
+    return ModelValidation(
+        n=n,
+        block_size=block_size,
+        simulated_throughput=simulated.throughput,
+        modelled_throughput=modelled.throughput,
+        simulated_fraction=simulated.dispersal_fraction,
+        modelled_fraction=modelled.dispersal_fraction,
+    )

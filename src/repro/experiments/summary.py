@@ -1,0 +1,94 @@
+"""Headline numbers of the paper (S1 / S6.2).
+
+The abstract and introduction summarise the evaluation as: on the
+geo-distributed deployment DispersedLedger achieves ~2x (105%) higher
+throughput and ~74% lower latency than HoneyBadger, with inter-node linking
+alone contributing ~45% throughput and the retrieval decoupling a further
+~41%; DL-Coupled gives up ~12% of DL's throughput.  This module derives the
+same ratios from a geo run plus a latency comparison so the benchmark
+harness can print a "paper vs reproduction" table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.geo import GeoResult, run_geo_throughput
+from repro.experiments.latency import LatencySweepResult, run_latency_sweep
+from repro.workload.cities import AWS_CITIES
+
+
+@dataclass(frozen=True)
+class HeadlineNumbers:
+    """The reproduction's counterparts of the paper's headline claims."""
+
+    #: Mean DL throughput / mean HB throughput - 1 (paper: ~1.05, i.e. ~2x).
+    dl_over_hb: float
+    #: Mean HB-Link throughput / mean HB throughput - 1 (paper: ~0.45).
+    linking_over_hb: float
+    #: Mean DL throughput / mean HB-Link throughput - 1 (paper: ~0.41).
+    dl_over_hb_link: float
+    #: 1 - DL-Coupled / DL mean throughput (paper: ~0.12), None if not run.
+    coupled_penalty: float | None
+    #: 1 - DL median latency / HB median latency at the comparison load
+    #: (paper: ~0.74 reduction), None if the latency sweep was not run.
+    latency_reduction: float | None
+
+    def as_dict(self) -> dict[str, float | None]:
+        return {
+            "dl_over_hb": self.dl_over_hb,
+            "linking_over_hb": self.linking_over_hb,
+            "dl_over_hb_link": self.dl_over_hb_link,
+            "coupled_penalty": self.coupled_penalty,
+            "latency_reduction": self.latency_reduction,
+        }
+
+
+def headline_from_results(
+    geo: GeoResult, latency: LatencySweepResult | None = None
+) -> HeadlineNumbers:
+    """Derive the headline ratios from already-run experiments."""
+    dl_over_hb = geo.improvement_over("dl", "hb")
+    linking_over_hb = geo.improvement_over("hb-link", "hb")
+    dl_over_hb_link = geo.improvement_over("dl", "hb-link")
+    coupled_penalty = None
+    if "dl-coupled" in geo.results:
+        dl = geo.results["dl"].mean_throughput
+        coupled = geo.results["dl-coupled"].mean_throughput
+        coupled_penalty = None if dl == 0 else 1.0 - coupled / dl
+
+    latency_reduction = None
+    if latency is not None and "dl" in latency.points and "hb" in latency.points:
+        # Compare the median local-transaction latency averaged over nodes at
+        # the highest common load of the sweep.
+        dl_point = latency.points["dl"][-1]
+        hb_point = latency.points["hb"][-1]
+        dl_medians = [s.p50 for s in dl_point.local if s is not None]
+        hb_medians = [s.p50 for s in hb_point.local if s is not None]
+        if dl_medians and hb_medians:
+            dl_median = sum(dl_medians) / len(dl_medians)
+            hb_median = sum(hb_medians) / len(hb_medians)
+            if hb_median > 0:
+                latency_reduction = 1.0 - dl_median / hb_median
+
+    return HeadlineNumbers(
+        dl_over_hb=dl_over_hb,
+        linking_over_hb=linking_over_hb,
+        dl_over_hb_link=dl_over_hb_link,
+        coupled_penalty=coupled_penalty,
+        latency_reduction=latency_reduction,
+    )
+
+
+def run_headline_summary(
+    duration: float = 45.0,
+    latency_loads: tuple[float, ...] = (1_000_000.0, 4_000_000.0),
+    latency_duration: float = 30.0,
+    seed: int = 0,
+) -> HeadlineNumbers:
+    """Run the geo throughput comparison and a short latency sweep, then summarise."""
+    geo = run_geo_throughput(cities=AWS_CITIES, duration=duration, seed=seed)
+    latency = run_latency_sweep(
+        loads=latency_loads, duration=latency_duration, seed=seed
+    )
+    return headline_from_results(geo, latency)

@@ -1,0 +1,21 @@
+"""HoneyBadger baselines.
+
+The paper evaluates DispersedLedger against HoneyBadger (Miller et al., CCS
+2016) and against "HoneyBadger with inter-node linking" (HB-Link), an
+optimised baseline the authors build by grafting DispersedLedger's linking
+rule onto HoneyBadger (S6).  Both are implemented here on the same
+substrates as DispersedLedger so that every difference measured by the
+experiments comes from the protocol structure and not the implementation:
+
+* HoneyBadger downloads a block *before* voting for it, and an epoch only
+  ends once its committed blocks are downloaded and delivered — so the whole
+  cluster advances in lockstep at the pace of the ``(f+1)``-th slowest node;
+* without linking, up to ``f`` correct blocks are dropped every epoch and
+  their transactions are re-proposed later (wasting the bandwidth spent
+  broadcasting them);
+* HB-Link removes the dropped-block waste but keeps the lockstep coupling.
+"""
+
+from repro.honeybadger.node import HoneyBadgerLinkNode, HoneyBadgerNode
+
+__all__ = ["HoneyBadgerLinkNode", "HoneyBadgerNode"]

@@ -1,0 +1,65 @@
+"""Small statistics helpers shared by the metrics collector and experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``values`` by linear interpolation.
+
+    Raises:
+        ValueError: if ``values`` is empty or ``q`` is outside [0, 100].
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    p5: float
+    p50: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p5": self.p5,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def summarise(values: Sequence[float]) -> Summary:
+    """Mean and percentile summary of ``values`` (which must be non-empty)."""
+    if not values:
+        raise ValueError("cannot summarise an empty sequence")
+    return Summary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p5=percentile(values, 5),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        p99=percentile(values, 99),
+    )

@@ -1,0 +1,38 @@
+"""Discrete-event wide-area network simulator.
+
+This package replaces the paper's AWS/Vultr testbeds and Mahimahi emulation
+(S6.1).  Protocol automata exchange messages through a :class:`Network`
+whose per-node ingress and egress pipes enforce time-varying bandwidth
+limits and whose links add propagation delay.  Dispersal-phase traffic is
+given strict priority over retrieval traffic, mirroring the MulTcp-style
+prioritisation of the paper's implementation (S5).
+
+Two drivers are provided:
+
+* :class:`Simulator` + :class:`Network` — the bandwidth-accurate
+  discrete-event engine used by every experiment.
+* :class:`repro.sim.instant.InstantNetwork` — an instant-delivery router
+  used by unit and property tests to exercise protocol logic (including
+  adversarial message orderings) without bandwidth modelling.
+"""
+
+from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth, PiecewiseConstantBandwidth
+from repro.sim.context import NodeContext
+from repro.sim.events import Simulator
+from repro.sim.messages import Message, Priority
+from repro.sim.network import Network, NetworkConfig, TrafficStats
+from repro.sim.process import Process
+
+__all__ = [
+    "BandwidthTrace",
+    "ConstantBandwidth",
+    "Message",
+    "Network",
+    "NetworkConfig",
+    "NodeContext",
+    "PiecewiseConstantBandwidth",
+    "Priority",
+    "Process",
+    "Simulator",
+    "TrafficStats",
+]

@@ -1,0 +1,84 @@
+"""Node-local handle that protocol automata use to talk to the outside world.
+
+A :class:`NodeContext` hides whether the automaton is running on the
+bandwidth-accurate :class:`repro.sim.network.Network` or on the instant
+in-memory router used by tests — the protocol code is identical in both
+cases, mirroring the paper's nested IO-automata structure (S5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.sim.messages import Message
+
+
+class Router(Protocol):
+    """Anything that can carry a message from one node to another."""
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        msg: Message,
+        rank: float = 0.0,
+        abort: Callable[[], bool] | None = None,
+    ) -> None: ...
+
+
+class Clock(Protocol):
+    """Anything that can tell time and schedule callbacks."""
+
+    @property
+    def now(self) -> float: ...
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None: ...
+
+
+class NodeContext:
+    """The sending/timing interface handed to every protocol automaton."""
+
+    def __init__(self, node_id: int, router: Router, clock: Clock):
+        self.node_id = node_id
+        self._router = router
+        self._clock = clock
+
+    @property
+    def num_nodes(self) -> int:
+        return self._router.num_nodes
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    def send(
+        self,
+        dst: int,
+        msg: Message,
+        rank: float = 0.0,
+        abort: Callable[[], bool] | None = None,
+    ) -> None:
+        """Send ``msg`` to node ``dst``.
+
+        ``abort`` lets bandwidth-accurate routers drop the transfer before it
+        consumes bandwidth if it is no longer needed (chunk cancellation).
+        """
+        self._router.send(self.node_id, dst, msg, rank, abort)
+
+    def broadcast(self, msg: Message, include_self: bool = True, rank: float = 0.0) -> None:
+        """Send ``msg`` to every node (including ourselves unless disabled).
+
+        The paper's pseudocode has servers send broadcast messages to
+        themselves as well (Fig. 3 caption), which this mirrors.
+        """
+        for dst in range(self._router.num_nodes):
+            if dst == self.node_id and not include_self:
+                continue
+            self._router.send(self.node_id, dst, msg, rank)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        self._clock.schedule(delay, callback)

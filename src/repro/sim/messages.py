@@ -1,0 +1,39 @@
+"""Message base types and traffic classes.
+
+Every protocol message declares its wire size in bytes (charged against the
+bandwidth pipes) and a traffic :class:`Priority`.  The paper sends
+dispersal-phase traffic (chunks, GotChunk/Ready votes, binary agreement) on
+an aggressive connection that wins against retrieval traffic at shared
+bottlenecks (S4.5, S5); the simulator reproduces this with a strict
+priority order inside each pipe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Priority(enum.IntEnum):
+    """Traffic classes, lower value = served first."""
+
+    #: Dispersal-phase traffic: chunks, VID votes, binary agreement messages.
+    DISPERSAL = 0
+    #: Block retrieval traffic (lazy downloads of committed blocks).
+    RETRIEVAL = 1
+
+
+#: Fixed per-message framing overhead in bytes (type tag, instance id, sender).
+HEADER_SIZE = 24
+
+
+@dataclass
+class Message:
+    """Base class for every protocol message.
+
+    Subclasses set ``wire_size`` (total bytes on the wire, including the
+    framing header) and may override ``priority``.
+    """
+
+    wire_size: int = field(default=HEADER_SIZE, kw_only=True)
+    priority: Priority = field(default=Priority.DISPERSAL, kw_only=True)

@@ -1,0 +1,201 @@
+"""The simulated wide-area network.
+
+``Network`` connects ``N`` protocol automata.  Every message travels:
+
+1. through the sender's **egress pipe** (charged ``wire_size`` bytes at the
+   sender's current egress bandwidth, after any higher-priority traffic),
+2. across the link's **propagation delay**,
+3. through the receiver's **ingress pipe** (charged again at the receiver's
+   ingress bandwidth),
+
+and is then handed to the receiver's ``on_message``.  Loopback messages are
+delivered after a negligible local delay and are not charged bandwidth,
+matching the paper's setup where a node's own chunk never crosses the WAN.
+
+The network keeps per-node traffic statistics split by priority class; the
+dispersal-traffic fraction of Fig. 13 is read straight from these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth
+from repro.sim.events import Simulator
+from repro.sim.messages import Message, Priority
+from repro.sim.pipe import Pipe
+from repro.sim.process import Process
+
+#: Delivery delay for messages a node sends to itself (seconds).
+LOOPBACK_DELAY = 1e-4
+
+
+@dataclass
+class TrafficStats:
+    """Per-node byte counters split by traffic class."""
+
+    sent: dict[Priority, int] = field(
+        default_factory=lambda: {priority: 0 for priority in Priority}
+    )
+    received: dict[Priority, int] = field(
+        default_factory=lambda: {priority: 0 for priority in Priority}
+    )
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.sent.values())
+
+    @property
+    def total_received(self) -> int:
+        return sum(self.received.values())
+
+    @property
+    def dispersal_fraction(self) -> float:
+        """Fraction of received bytes that belong to the dispersal phase."""
+        total = self.total_received
+        if total == 0:
+            return 0.0
+        return self.received[Priority.DISPERSAL] / total
+
+
+@dataclass
+class NetworkConfig:
+    """Configuration of the simulated network.
+
+    Attributes:
+        num_nodes: number of nodes.
+        propagation_delay: one-way delay in seconds, either a scalar applied
+            to every ordered pair or a matrix ``delay[src][dst]``.
+        egress_traces: per-node egress bandwidth traces (bytes/s); ``None``
+            entries mean unlimited.
+        ingress_traces: per-node ingress bandwidth traces; same convention.
+    """
+
+    num_nodes: int
+    propagation_delay: float | list[list[float]] = 0.1
+    egress_traces: list[BandwidthTrace | None] | None = None
+    ingress_traces: list[BandwidthTrace | None] | None = None
+
+    def delay(self, src: int, dst: int) -> float:
+        if isinstance(self.propagation_delay, (int, float)):
+            return float(self.propagation_delay)
+        return self.propagation_delay[src][dst]
+
+    def egress_trace(self, node: int) -> BandwidthTrace:
+        if self.egress_traces is None or self.egress_traces[node] is None:
+            return ConstantBandwidth(None)
+        return self.egress_traces[node]
+
+    def ingress_trace(self, node: int) -> BandwidthTrace:
+        if self.ingress_traces is None or self.ingress_traces[node] is None:
+            return ConstantBandwidth(None)
+        return self.ingress_traces[node]
+
+
+class Network:
+    """Connects protocol automata through bandwidth-limited pipes."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig):
+        if config.num_nodes < 1:
+            raise ConfigurationError("network needs at least one node")
+        for traces_name in ("egress_traces", "ingress_traces"):
+            traces = getattr(config, traces_name)
+            if traces is not None and len(traces) != config.num_nodes:
+                raise ConfigurationError(
+                    f"{traces_name} has {len(traces)} entries for {config.num_nodes} nodes"
+                )
+        self._sim = sim
+        self._config = config
+        self._handlers: list[Process | None] = [None] * config.num_nodes
+        self._egress = [
+            Pipe(sim, config.egress_trace(i)) for i in range(config.num_nodes)
+        ]
+        self._ingress = [
+            Pipe(sim, config.ingress_trace(i)) for i in range(config.num_nodes)
+        ]
+        self.stats = [TrafficStats() for _ in range(config.num_nodes)]
+        self.messages_delivered = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return self._config.num_nodes
+
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    def attach(self, node_id: int, handler: Process) -> None:
+        """Register the protocol automaton running at ``node_id``."""
+        self._handlers[node_id] = handler
+
+    def start(self) -> None:
+        """Invoke ``start()`` on every attached automaton at time zero."""
+        for handler in self._handlers:
+            if handler is not None:
+                self._sim.schedule(0.0, handler.start)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        msg: Message,
+        rank: float = 0.0,
+        abort: "Callable[[], bool] | None" = None,
+    ) -> None:
+        """Send ``msg`` from ``src`` to ``dst``, charging bandwidth on both ends.
+
+        ``abort`` (optional) is checked when the message reaches the head of
+        the sender's egress queue and again at the receiver's ingress queue;
+        if it returns True the transfer is dropped without consuming
+        bandwidth.  Senders use it to cancel retrieval chunks the receiver no
+        longer needs (S6.3's "stop sending more chunks" optimisation).
+        """
+        if not 0 <= dst < self.num_nodes:
+            raise ConfigurationError(f"destination {dst} out of range")
+        if src == dst:
+            self.stats[src].sent[msg.priority] += msg.wire_size
+            self._sim.schedule(LOOPBACK_DELAY, lambda: self._deliver(src, dst, msg))
+            return
+
+        def after_egress() -> None:
+            self.stats[src].sent[msg.priority] += msg.wire_size
+            delay = self._config.delay(src, dst)
+            self._sim.schedule(delay, lambda: self._enter_ingress(src, dst, msg, rank, abort))
+
+        self._egress[src].submit(msg.wire_size, msg.priority, after_egress, rank, abort)
+
+    def _enter_ingress(
+        self,
+        src: int,
+        dst: int,
+        msg: Message,
+        rank: float,
+        abort: "Callable[[], bool] | None" = None,
+    ) -> None:
+        # Receiver-side cancellation: before the transfer is charged against
+        # the receiver's ingress bandwidth, the receiving automaton may
+        # decline it (e.g. a retrieval chunk for a block it already decoded).
+        # This models receiver-driven stream cancellation (QUIC STOP_SENDING
+        # / flow control): the bytes are neither transmitted in full nor
+        # charged to the receiver's scarce download capacity.
+        handler = self._handlers[dst]
+        decline = getattr(handler, "declines_transfer", None)
+
+        def should_abort() -> bool:
+            if abort is not None and abort():
+                return True
+            return decline is not None and decline(msg)
+
+        self._ingress[dst].submit(
+            msg.wire_size, msg.priority, lambda: self._deliver(src, dst, msg), rank, should_abort
+        )
+
+    def _deliver(self, src: int, dst: int, msg: Message) -> None:
+        if src != dst:
+            self.stats[dst].received[msg.priority] += msg.wire_size
+        self.messages_delivered += 1
+        handler = self._handlers[dst]
+        if handler is not None:
+            handler.on_message(src, msg)

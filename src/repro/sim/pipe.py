@@ -1,0 +1,96 @@
+"""A bandwidth-limited pipe with priority queueing.
+
+Each simulated node owns two pipes: an egress pipe that all of its outgoing
+messages pass through, and an ingress pipe for incoming messages.  A pipe
+serves one message at a time at the instantaneous rate of its bandwidth
+trace; when it becomes free, it picks the next message from the
+highest-priority non-empty queue (dispersal-phase traffic before retrieval
+traffic).  Within a priority class, queueing is FIFO except that retrieval
+traffic can be sub-prioritised by a caller-supplied rank (the paper serves
+the QUIC stream with the lowest epoch number first, S5).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.sim.bandwidth import BandwidthTrace
+from repro.sim.events import Simulator
+from repro.sim.messages import Priority
+
+
+class Pipe:
+    """Serialises byte transfers through a time-varying bandwidth limit."""
+
+    def __init__(self, sim: Simulator, trace: BandwidthTrace):
+        self._sim = sim
+        self._trace = trace
+        self._queues: dict[
+            Priority,
+            list[tuple[float, int, int, Callable[[], None], Callable[[], bool] | None]],
+        ] = {priority: [] for priority in Priority}
+        self._sequence = itertools.count()
+        self._busy = False
+        self.bytes_transferred = 0
+        self.bytes_aborted = 0
+        self.busy_time = 0.0
+
+    def submit(
+        self,
+        size: int,
+        priority: Priority,
+        on_done: Callable[[], None],
+        rank: float = 0.0,
+        abort: Callable[[], bool] | None = None,
+    ) -> None:
+        """Enqueue a transfer of ``size`` bytes; call ``on_done`` when it drains.
+
+        ``rank`` orders transfers within the same priority class (lower rank
+        first); ties fall back to FIFO arrival order.  ``abort`` (if given) is
+        evaluated when the transfer is about to start serving: if it returns
+        True the transfer is dropped without consuming any bandwidth and
+        ``on_done`` is never called — this models the paper's "stop sending
+        chunks once the block is decodable" cancellation (S6.3).
+        """
+        if size < 0:
+            raise ValueError(f"transfer size must be non-negative, got {size}")
+        entry = (rank, next(self._sequence), size, on_done, abort)
+        heapq.heappush(self._queues[priority], entry)
+        if not self._busy:
+            self._serve_next()
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes waiting in the pipe (not counting the transfer in flight)."""
+        return sum(size for queue in self._queues.values() for _, _, size, _, _ in queue)
+
+    def _serve_next(self) -> None:
+        for priority in sorted(self._queues):
+            queue = self._queues[priority]
+            while queue:
+                _rank, _seq, size, on_done, abort = heapq.heappop(queue)
+                if abort is not None and abort():
+                    self.bytes_aborted += size
+                    continue
+                self._start_transfer(size, on_done)
+                return
+        self._busy = False
+
+    def _start_transfer(self, size: int, on_done: Callable[[], None]) -> None:
+        self._busy = True
+        start = self._sim.now
+        finish = self._trace.finish_time(start, size)
+        if finish == float("inf"):
+            raise RuntimeError(
+                "bandwidth trace never completes a transfer (zero trailing rate)"
+            )
+
+        def complete() -> None:
+            self.bytes_transferred += size
+            self.busy_time += finish - start
+            on_done()
+            self._serve_next()
+
+        self._sim.schedule_at(finish, complete)

@@ -1,0 +1,20 @@
+"""The interface every simulated node implements."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.sim.messages import Message
+
+
+@runtime_checkable
+class Process(Protocol):
+    """A protocol automaton attached to one simulated node."""
+
+    def start(self) -> None:
+        """Called once when the simulation begins."""
+        ...
+
+    def on_message(self, src: int, msg: Message) -> None:
+        """Called when a message from node ``src`` is delivered to this node."""
+        ...

@@ -1,0 +1,296 @@
+"""AVID-M: Asynchronous Verifiable Information Dispersal with Merkle trees.
+
+This module implements the dispersal algorithm of Fig. 3 and the retrieval
+algorithm of Fig. 4 of the paper as a single per-instance automaton.  Each
+node hosts one :class:`AvidMInstance` per VID instance (i.e. per proposer
+slot per epoch in DispersedLedger) and plays up to three roles with it:
+
+* **server** — stores its chunk, exchanges ``GotChunk``/``Ready`` votes, and
+  answers retrieval requests;
+* **dispersing client** — encodes a payload and sends every server its chunk
+  (only the node that owns the slot plays this role);
+* **retrieving client** — requests chunks, decodes, and runs the re-encode
+  verification, returning either the payload or ``BAD_UPLOADER``.
+
+The retrieval client first asks ``N - 2f`` servers (spread deterministically
+across the cluster to balance load) and falls back to the remaining servers
+on a timer — the paper's prototype similarly stops transfers once a block is
+decodable to avoid downloading ``N/(N-2f)``x the block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.errors import DispersalError
+from repro.common.ids import VIDInstanceId
+from repro.common.params import ProtocolParams
+from repro.sim.context import NodeContext
+from repro.sim.messages import Message
+from repro.vid.codec import BAD_UPLOADER, Chunk
+from repro.vid.messages import (
+    CancelChunkMsg,
+    ChunkMsg,
+    GotChunkMsg,
+    ReadyMsg,
+    RequestChunkMsg,
+    ReturnChunkMsg,
+)
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """Outcome of a ``Retrieve`` invocation."""
+
+    instance: VIDInstanceId
+    payload: Any
+    ok: bool
+
+    @property
+    def is_bad_uploader(self) -> bool:
+        return not self.ok
+
+
+class AvidMInstance:
+    """One VID instance (server + optional client roles) at one node."""
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        instance: VIDInstanceId,
+        ctx: NodeContext,
+        codec: Any,
+        on_complete: Callable[[VIDInstanceId], None] | None = None,
+        allowed_disperser: int | None = None,
+        retrieval_rank: float = 0.0,
+    ):
+        self.params = params
+        self.instance = instance
+        self.ctx = ctx
+        self.codec = codec
+        self.on_complete = on_complete
+        self.allowed_disperser = allowed_disperser
+        self.retrieval_rank = retrieval_rank
+
+        # --- server state (Fig. 3) ---
+        self.my_chunk: Chunk | None = None
+        self.my_root: bytes | None = None
+        self.chunk_root: bytes | None = None
+        self.completed = False
+        self._sent_got_chunk = False
+        self._sent_ready_roots: set[bytes] = set()
+        self._got_chunk_senders: dict[bytes, set[int]] = {}
+        self._ready_senders: dict[bytes, set[int]] = {}
+        self._got_chunk_seen: set[int] = set()
+        self._ready_seen: set[int] = set()
+        self._pending_requests: list[int] = []
+
+        # --- retrieval client state (Fig. 4) ---
+        self._retrieving = False
+        self._retrieval_done = False
+        self._retrieval_callbacks: list[Callable[[RetrievalResult], None]] = []
+        self._received_chunks: dict[bytes, dict[int, Chunk]] = {}
+        self._return_chunk_seen: set[int] = set()
+        self._requested: set[int] = set()
+        #: Clients that told us they decoded the block and need no more chunks.
+        self._cancelled_retrievers: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Dispersing client role
+    # ------------------------------------------------------------------
+
+    def disperse(self, payload: Any) -> bytes:
+        """Invoke ``Disperse(B)``: encode ``payload`` and send every server a chunk.
+
+        Returns the Merkle root committing to the dispersed chunks.
+        """
+        if self.allowed_disperser is not None and self.ctx.node_id != self.allowed_disperser:
+            raise DispersalError(
+                f"node {self.ctx.node_id} is not allowed to disperse into {self.instance}"
+            )
+        bundle = self.codec.encode(payload)
+        for server in range(self.params.n):
+            self.ctx.send(
+                server,
+                ChunkMsg(instance=self.instance, root=bundle.root, chunk=bundle.chunks[server]),
+            )
+        return bundle.root
+
+    # ------------------------------------------------------------------
+    # Retrieving client role
+    # ------------------------------------------------------------------
+
+    @property
+    def retrieval_complete(self) -> bool:
+        """True once this node has decoded the dispersed payload."""
+        return self._retrieval_done
+
+    def retrieve(self, callback: Callable[[RetrievalResult], None]) -> None:
+        """Invoke ``Retrieve``: request chunks and report the decoded payload.
+
+        Chunks are requested from every server (Fig. 4 broadcasts
+        ``RequestChunk``); the block decodes as soon as the first ``N - 2f``
+        consistent chunks arrive, at which point a ``CancelChunk`` tells the
+        remaining servers to stop sending (the paper's cancellation
+        optimisation, S6.3), so slow servers never gate the download.
+        """
+        self._retrieval_callbacks.append(callback)
+        if self._retrieval_done:
+            self._finish_retrieval_again()
+            return
+        if self._retrieving:
+            return
+        self._retrieving = True
+        for server in range(self.params.n):
+            self._request_chunk(server)
+
+    def _request_chunk(self, server: int) -> None:
+        if server in self._requested:
+            return
+        self._requested.add(server)
+        self.ctx.send(
+            server, RequestChunkMsg(instance=self.instance), rank=self.retrieval_rank
+        )
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def handle(self, src: int, msg: Message) -> None:
+        """Dispatch one incoming message for this instance."""
+        if isinstance(msg, ChunkMsg):
+            self._on_chunk(src, msg)
+        elif isinstance(msg, GotChunkMsg):
+            self._on_got_chunk(src, msg)
+        elif isinstance(msg, ReadyMsg):
+            self._on_ready(src, msg)
+        elif isinstance(msg, RequestChunkMsg):
+            self._on_request_chunk(src)
+        elif isinstance(msg, ReturnChunkMsg):
+            self._on_return_chunk(src, msg)
+        elif isinstance(msg, CancelChunkMsg):
+            self._cancelled_retrievers.add(src)
+
+    # --- server side (Fig. 3) ---
+
+    def _on_chunk(self, src: int, msg: ChunkMsg) -> None:
+        if self.allowed_disperser is not None and src != self.allowed_disperser:
+            return
+        if msg.chunk.index != self.ctx.node_id:
+            return
+        if not self.codec.verify_chunk(msg.root, msg.chunk):
+            return
+        if self.my_chunk is None:
+            self.my_chunk = msg.chunk
+            self.my_root = msg.root
+            self._answer_pending_requests()
+        if not self._sent_got_chunk:
+            self._sent_got_chunk = True
+            self.ctx.broadcast(GotChunkMsg(instance=self.instance, root=msg.root))
+
+    def _on_got_chunk(self, src: int, msg: GotChunkMsg) -> None:
+        if src in self._got_chunk_seen:
+            return
+        self._got_chunk_seen.add(src)
+        senders = self._got_chunk_senders.setdefault(msg.root, set())
+        senders.add(src)
+        if len(senders) >= self.params.quorum:
+            self._send_ready(msg.root)
+
+    def _on_ready(self, src: int, msg: ReadyMsg) -> None:
+        if src in self._ready_seen:
+            return
+        self._ready_seen.add(src)
+        senders = self._ready_senders.setdefault(msg.root, set())
+        senders.add(src)
+        if len(senders) >= self.params.ready_amplify_threshold:
+            self._send_ready(msg.root)
+        if len(senders) >= self.params.ready_threshold and not self.completed:
+            self.chunk_root = msg.root
+            self.completed = True
+            self._answer_pending_requests()
+            if self.on_complete is not None:
+                self.on_complete(self.instance)
+
+    def _send_ready(self, root: bytes) -> None:
+        if root in self._sent_ready_roots:
+            return
+        self._sent_ready_roots.add(root)
+        self.ctx.broadcast(ReadyMsg(instance=self.instance, root=root))
+
+    # --- server side (Fig. 4: answering retrievals) ---
+
+    def _on_request_chunk(self, src: int) -> None:
+        if not self._can_answer_request():
+            if src not in self._pending_requests:
+                self._pending_requests.append(src)
+            return
+        self._send_return_chunk(src)
+
+    def _can_answer_request(self) -> bool:
+        return (
+            self.completed
+            and self.my_chunk is not None
+            and self.my_root is not None
+            and self.my_root == self.chunk_root
+        )
+
+    def _answer_pending_requests(self) -> None:
+        if not self._can_answer_request():
+            return
+        pending, self._pending_requests = self._pending_requests, []
+        for src in pending:
+            self._send_return_chunk(src)
+
+    def _send_return_chunk(self, dst: int) -> None:
+        assert self.my_chunk is not None and self.my_root is not None
+        if dst in self._cancelled_retrievers:
+            return
+        self.ctx.send(
+            dst,
+            ReturnChunkMsg(instance=self.instance, root=self.my_root, chunk=self.my_chunk),
+            rank=self.retrieval_rank,
+            # Drop the transfer (saving the bandwidth) if the client cancels
+            # before this chunk reaches the head of the egress queue.
+            abort=lambda dst=dst: dst in self._cancelled_retrievers,
+        )
+
+    # --- client side (Fig. 4: collecting chunks) ---
+
+    def _on_return_chunk(self, src: int, msg: ReturnChunkMsg) -> None:
+        if not self._retrieving or self._retrieval_done:
+            return
+        if src in self._return_chunk_seen:
+            return
+        self._return_chunk_seen.add(src)
+        if msg.chunk.index != src:
+            return
+        if not self.codec.verify_chunk(msg.root, msg.chunk):
+            return
+        chunks = self._received_chunks.setdefault(msg.root, {})
+        chunks[msg.chunk.index] = msg.chunk
+        if len(chunks) >= self.params.data_shards:
+            decoded = self.codec.decode(msg.root, chunks)
+            ok = not (isinstance(decoded, str) and decoded == BAD_UPLOADER)
+            self._retrieval_result = RetrievalResult(
+                instance=self.instance, payload=decoded, ok=ok
+            )
+            self._retrieval_done = True
+            # Tell every server we are done so the chunks still queued at
+            # their egress are dropped instead of transmitted (S6.3).
+            self.ctx.broadcast(
+                CancelChunkMsg(instance=self.instance), include_self=False
+            )
+            self._finish_retrieval_again()
+
+    def _finish_retrieval_again(self) -> None:
+        callbacks, self._retrieval_callbacks = self._retrieval_callbacks, []
+        for callback in callbacks:
+            callback(self._retrieval_result)
+
+    # Also answer requests that arrived before completion once we complete
+    # and later receive our chunk (a chunk may arrive after Ready quorum).
+    def maybe_flush_pending(self) -> None:
+        """Answer any deferred retrieval requests if we are now able to."""
+        self._answer_pending_requests()

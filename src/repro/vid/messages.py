@@ -1,0 +1,98 @@
+"""Wire messages of the AVID-M protocol (Fig. 3 and Fig. 4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.ids import VIDInstanceId
+from repro.crypto.hashing import DIGEST_SIZE
+from repro.sim.messages import HEADER_SIZE, Message, Priority
+from repro.vid.codec import Chunk
+
+
+@dataclass
+class ChunkMsg(Message):
+    """``Chunk(r, C_i, P_i)``: the disperser hands server ``i`` its chunk."""
+
+    instance: VIDInstanceId = field(kw_only=True)
+    root: bytes = field(kw_only=True)
+    chunk: Chunk = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.wire_size = HEADER_SIZE + DIGEST_SIZE + self.chunk.wire_size
+        self.priority = Priority.DISPERSAL
+
+
+@dataclass
+class GotChunkMsg(Message):
+    """``GotChunk(r)``: a server announces it holds a chunk under root ``r``."""
+
+    instance: VIDInstanceId = field(kw_only=True)
+    root: bytes = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.wire_size = HEADER_SIZE + DIGEST_SIZE
+        self.priority = Priority.DISPERSAL
+
+
+@dataclass
+class ReadyMsg(Message):
+    """``Ready(r)``: a server has evidence that enough chunks are stored."""
+
+    instance: VIDInstanceId = field(kw_only=True)
+    root: bytes = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.wire_size = HEADER_SIZE + DIGEST_SIZE
+        self.priority = Priority.DISPERSAL
+
+
+@dataclass
+class RequestChunkMsg(Message):
+    """``RequestChunk``: a retrieving client asks a server for its chunk."""
+
+    instance: VIDInstanceId = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.wire_size = HEADER_SIZE
+        self.priority = Priority.RETRIEVAL
+
+
+@dataclass
+class ReturnChunkMsg(Message):
+    """``ReturnChunk(r, C_i, P_i)``: a server answers a retrieval request."""
+
+    instance: VIDInstanceId = field(kw_only=True)
+    root: bytes = field(kw_only=True)
+    chunk: Chunk = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.wire_size = HEADER_SIZE + DIGEST_SIZE + self.chunk.wire_size
+        self.priority = Priority.RETRIEVAL
+
+
+@dataclass
+class CancelChunkMsg(Message):
+    """``CancelChunk``: a retrieving client has decoded and needs no more chunks.
+
+    This is the paper's "a node notifies others when it has decoded a block
+    to stop sending more chunks" optimisation (S6.3).  It rides the
+    high-priority class so cancellations are not stuck behind the very bulk
+    traffic they are meant to cut short.
+    """
+
+    instance: VIDInstanceId = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        self.wire_size = HEADER_SIZE
+        self.priority = Priority.DISPERSAL
+
+
+VID_MESSAGE_TYPES = (
+    ChunkMsg,
+    GotChunkMsg,
+    ReadyMsg,
+    RequestChunkMsg,
+    ReturnChunkMsg,
+    CancelChunkMsg,
+)

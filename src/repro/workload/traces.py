@@ -1,0 +1,121 @@
+"""Bandwidth trace generation for the controlled experiments (S6.3).
+
+The paper's controlled experiments throttle each node's ingress and egress
+independently:
+
+* **Spatial variation** (Fig. 11a): node ``i`` is capped at a constant
+  ``10 + 0.5 * i`` MB/s.
+* **Temporal variation** (Fig. 11b, Fig. 16): each node's bandwidth follows
+  an independent Gauss-Markov process with mean ``b = 10`` MB/s, standard
+  deviation ``sigma = 5`` MB/s and correlation ``alpha = 0.98`` between
+  consecutive 1-second samples.
+
+Both are expressed as :class:`repro.sim.bandwidth.PiecewiseConstantBandwidth`
+traces consumed by the simulator's pipes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.bandwidth import ConstantBandwidth, PiecewiseConstantBandwidth
+
+MB = 1_000_000
+
+
+class GaussMarkovProcess:
+    """The temporal bandwidth variation model of S6.3.
+
+    Successive samples follow ``x[t+1] = alpha * x[t] + (1 - alpha) * mean +
+    sqrt(1 - alpha^2) * sigma * noise`` with standard normal ``noise``, which
+    keeps the marginal distribution at mean ``mean`` and standard deviation
+    ``sigma`` for any correlation ``alpha``.  Samples are clamped below at
+    ``floor`` so the link never has zero (or negative) capacity.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        sigma: float,
+        alpha: float = 0.98,
+        floor: float = 0.5 * MB,
+        seed: int | None = None,
+    ):
+        if mean <= 0:
+            raise ValueError("mean bandwidth must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0 <= alpha < 1:
+            raise ValueError("alpha must be in [0, 1)")
+        if floor <= 0:
+            raise ValueError("floor must be positive")
+        self.mean = mean
+        self.sigma = sigma
+        self.alpha = alpha
+        self.floor = floor
+        self._rng = random.Random(seed)
+
+    def sample_path(self, duration: float, step: float = 1.0) -> list[tuple[float, float]]:
+        """Sample a trace of ``(time, rate)`` breakpoints covering ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        innovation_scale = self.sigma * (1.0 - self.alpha**2) ** 0.5
+        value = self._rng.gauss(self.mean, self.sigma)
+        points: list[tuple[float, float]] = []
+        t = 0.0
+        while t < duration:
+            points.append((t, max(self.floor, value)))
+            value = (
+                self.alpha * value
+                + (1.0 - self.alpha) * self.mean
+                + innovation_scale * self._rng.gauss(0.0, 1.0)
+            )
+            t += step
+        return points
+
+    def trace(self, duration: float, step: float = 1.0) -> PiecewiseConstantBandwidth:
+        """A piecewise-constant bandwidth trace sampled from the process."""
+        return PiecewiseConstantBandwidth(self.sample_path(duration, step))
+
+
+def constant_traces(num_nodes: int, rate: float) -> list[ConstantBandwidth]:
+    """Identical constant-rate traces for every node (the fixed-bandwidth baseline)."""
+    return [ConstantBandwidth(rate) for _ in range(num_nodes)]
+
+
+def spatial_variation_rates(
+    num_nodes: int, base: float = 10 * MB, step: float = 0.5 * MB
+) -> list[float]:
+    """The per-node constant rates of the spatial-variation experiment (Fig. 11a).
+
+    Node ``i`` gets ``base + step * i`` bytes per second; the paper uses
+    ``10 + 0.5 i`` MB/s for 16 nodes.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    return [base + step * i for i in range(num_nodes)]
+
+
+def gauss_markov_traces(
+    num_nodes: int,
+    duration: float,
+    mean: float = 10 * MB,
+    sigma: float = 5 * MB,
+    alpha: float = 0.98,
+    step: float = 1.0,
+    seed: int = 0,
+) -> list[PiecewiseConstantBandwidth]:
+    """Independent Gauss-Markov traces for every node (Fig. 11b).
+
+    Every node's trace is sampled from the same distribution but with an
+    independent, deterministic per-node seed so experiments are reproducible.
+    """
+    traces = []
+    for node in range(num_nodes):
+        process = GaussMarkovProcess(
+            mean=mean, sigma=sigma, alpha=alpha, seed=seed * 10_000 + node
+        )
+        traces.append(process.trace(duration, step))
+    return traces

@@ -1,0 +1,135 @@
+"""Client transaction generators.
+
+The paper generates load with "a thread on each node that generates
+transactions in a Poisson arrival process" (S6.1).  The throughput
+experiments additionally need an "infinitely-backlogged system" (S6.2),
+modelled here by a saturating generator that keeps each node's mempool
+topped up so block formation is never starved.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.block import Transaction
+from repro.core.node_base import BFTNodeBase
+from repro.sim.events import Simulator
+
+#: Default transaction size in bytes.  The HoneyBadger evaluation (which the
+#: paper follows) uses ~250-byte transactions.
+DEFAULT_TX_SIZE = 250
+
+
+class PoissonTransactionGenerator:
+    """Feeds one node transactions following a Poisson arrival process.
+
+    Args:
+        sim: the discrete-event simulator driving virtual time.
+        node: the node whose mempool receives the transactions.
+        rate_bytes_per_second: offered load in payload bytes per second.
+        tx_size: size of each transaction in bytes.
+        seed: RNG seed (generators with different seeds are independent).
+        stop_at: stop generating at this virtual time (None = never).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: BFTNodeBase,
+        rate_bytes_per_second: float,
+        tx_size: int = DEFAULT_TX_SIZE,
+        seed: int | None = None,
+        stop_at: float | None = None,
+    ):
+        if rate_bytes_per_second <= 0:
+            raise ValueError("offered load must be positive")
+        if tx_size <= 0:
+            raise ValueError("transaction size must be positive")
+        self._sim = sim
+        self._node = node
+        self._tx_size = tx_size
+        self._mean_interarrival = tx_size / rate_bytes_per_second
+        self._rng = random.Random(seed)
+        self._stop_at = stop_at
+        self._sequence = 0
+        self.generated = 0
+        self.generated_bytes = 0
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay = self._rng.expovariate(1.0 / self._mean_interarrival)
+        self._sim.schedule(delay, self._arrive)
+
+    def _arrive(self) -> None:
+        now = self._sim.now
+        if self._stop_at is not None and now >= self._stop_at:
+            return
+        self._sequence += 1
+        tx = Transaction(
+            tx_id=self._sequence * self._node.params.n + self._node.node_id,
+            origin=self._node.node_id,
+            created_at=now,
+            size=self._tx_size,
+        )
+        self._node.submit_transaction(tx)
+        self.generated += 1
+        self.generated_bytes += self._tx_size
+        self._schedule_next()
+
+
+class SaturatingTransactionGenerator:
+    """Keeps a node's mempool backlogged so it always has a full block to propose.
+
+    Used for the "infinitely-backlogged" throughput measurements (S6.2): at a
+    fixed refill interval the generator tops the mempool up to a target
+    number of pending bytes.  Transactions are stamped with their submission
+    time, so latency numbers from a saturating run are meaningless by design
+    (the paper likewise only reports throughput for these runs).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: BFTNodeBase,
+        target_pending_bytes: int = 8_000_000,
+        tx_size: int = DEFAULT_TX_SIZE,
+        refill_interval: float = 0.05,
+    ):
+        if target_pending_bytes <= 0:
+            raise ValueError("target_pending_bytes must be positive")
+        if tx_size <= 0:
+            raise ValueError("transaction size must be positive")
+        if refill_interval <= 0:
+            raise ValueError("refill_interval must be positive")
+        self._sim = sim
+        self._node = node
+        self._target = target_pending_bytes
+        self._tx_size = tx_size
+        self._interval = refill_interval
+        self._sequence = 0
+        self.generated = 0
+        self.generated_bytes = 0
+
+    def start(self) -> None:
+        """Fill the mempool immediately and keep it topped up."""
+        self._refill()
+
+    def _refill(self) -> None:
+        now = self._sim.now
+        missing = self._target - self._node.mempool.pending_bytes
+        while missing > 0:
+            self._sequence += 1
+            tx = Transaction(
+                tx_id=self._sequence * self._node.params.n + self._node.node_id,
+                origin=self._node.node_id,
+                created_at=now,
+                size=self._tx_size,
+            )
+            self._node.submit_transaction(tx)
+            self.generated += 1
+            self.generated_bytes += self._tx_size
+            missing -= self._tx_size
+        self._sim.schedule(self._interval, self._refill)

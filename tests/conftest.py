@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ba.coin import CommonCoin
+from repro.common.params import ProtocolParams
+from repro.core.config import NodeConfig
+from repro.sim.context import NodeContext
+from repro.sim.instant import InstantNetwork
+
+
+@pytest.fixture
+def params4() -> ProtocolParams:
+    """The smallest Byzantine-tolerant cluster: N = 4, f = 1."""
+    return ProtocolParams.for_n(4)
+
+
+@pytest.fixture
+def params7() -> ProtocolParams:
+    """A cluster with f = 2 (N = 7)."""
+    return ProtocolParams.for_n(7)
+
+
+def build_cluster(
+    node_class,
+    params: ProtocolParams,
+    seed: int | None = None,
+    config: NodeConfig | None = None,
+    max_epochs: int | None = 3,
+    node_classes: dict[int, type] | None = None,
+    **node_kwargs,
+):
+    """Build an instant-router cluster of ``node_class`` nodes.
+
+    ``node_classes`` overrides the class of specific node ids (used to insert
+    Byzantine nodes).  Returns ``(network, nodes)``.
+    """
+    network = InstantNetwork(params.n, seed=seed)
+    coin = CommonCoin()
+    config = config or NodeConfig(data_plane="real")
+    nodes = []
+    for node_id in range(params.n):
+        cls = (node_classes or {}).get(node_id, node_class)
+        ctx = NodeContext(node_id, network, network)
+        node = cls(
+            node_id,
+            params,
+            ctx,
+            config=config,
+            coin=coin,
+            max_epochs=max_epochs,
+            **node_kwargs,
+        )
+        network.attach(node_id, node)
+        nodes.append(node)
+    return network, nodes
+
+
+def submit_texts(node, texts):
+    """Submit a list of string payloads as transactions to ``node``."""
+    return [node.submit_payload(text.encode()) for text in texts]

@@ -1,0 +1,97 @@
+"""Tests for the adversary toolkit itself."""
+
+from repro.adversary.crash import CrashAfterNode, CrashedNode
+from repro.adversary.equivocator import send_inconsistent_dispersal
+from repro.adversary.filters import compose_filters, drop_messages_between, drop_messages_from
+from repro.common.ids import VIDInstanceId
+from repro.common.params import ProtocolParams
+from repro.core.node import DispersedLedgerNode
+from repro.sim.context import NodeContext
+from repro.sim.instant import InstantNetwork
+from repro.sim.messages import Message
+from tests.conftest import build_cluster
+
+
+class TestCrashedNode:
+    def test_ignores_everything(self):
+        node = CrashedNode(0)
+        node.start()
+        node.on_message(1, Message())
+        assert node.messages_ignored == 1
+
+
+class TestCrashAfterNode:
+    def test_forwards_before_crash_and_drops_after(self, params4):
+        network, nodes = build_cluster(DispersedLedgerNode, params4, max_epochs=1)
+        inner = nodes[0]
+        wrapper = CrashAfterNode(inner, network, crash_time=5.0)
+        assert not wrapper.crashed
+        wrapper.on_message(1, Message())
+        assert wrapper.messages_ignored == 0
+        # Advance the router's clock past the crash time via a timer.
+        network.schedule(10.0, lambda: None)
+        network.run()
+        assert wrapper.crashed
+        wrapper.on_message(1, Message())
+        assert wrapper.messages_ignored == 1
+
+    def test_rejects_negative_crash_time(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CrashAfterNode(CrashedNode(0), InstantNetwork(1), crash_time=-1.0)
+
+
+class TestFilters:
+    def test_drop_messages_from(self):
+        predicate = drop_messages_from({2, 3})
+        assert predicate(0, 1, Message())
+        assert not predicate(2, 1, Message())
+
+    def test_drop_messages_between(self):
+        predicate = drop_messages_between({0, 1}, {2, 3})
+        assert not predicate(0, 2, Message())
+        assert not predicate(3, 1, Message())
+        assert predicate(0, 1, Message())
+        assert predicate(2, 3, Message())
+
+    def test_compose_filters(self):
+        predicate = compose_filters(drop_messages_from({0}), drop_messages_from({1}))
+        assert not predicate(0, 2, Message())
+        assert not predicate(1, 2, Message())
+        assert predicate(2, 3, Message())
+
+
+class TestEquivocator:
+    def test_inconsistent_dispersal_commits_to_one_root(self):
+        params = ProtocolParams.for_n(4)
+        network = InstantNetwork(4)
+        received_roots = []
+
+        class RootRecorder:
+            def start(self):
+                return
+
+            def on_message(self, src, msg):
+                received_roots.append(msg.root)
+
+        for i in range(4):
+            network.attach(i, RootRecorder())
+        ctx = NodeContext(0, network, network)
+        root = send_inconsistent_dispersal(
+            params, ctx, VIDInstanceId(epoch=1, proposer=0), b"x" * 64, b"y" * 64
+        )
+        network.run()
+        assert len(received_roots) == 4
+        assert set(received_roots) == {root}
+
+    def test_requires_equal_shard_sizes(self):
+        import pytest
+
+        params = ProtocolParams.for_n(4)
+        network = InstantNetwork(4)
+        ctx = NodeContext(0, network, network)
+        with pytest.raises(ValueError):
+            send_inconsistent_dispersal(
+                params, ctx, VIDInstanceId(epoch=1, proposer=0), b"short", b"much longer payload" * 10
+            )

@@ -1,0 +1,174 @@
+"""Tests for the signature-free asynchronous binary agreement protocol."""
+
+import pytest
+
+from repro.adversary.filters import drop_messages_from
+from repro.ba.coin import CommonCoin
+from repro.ba.mmr import BinaryAgreement
+from repro.common.ids import BAInstanceId
+from repro.common.params import ProtocolParams
+from repro.sim.context import NodeContext
+from repro.sim.instant import InstantNetwork
+
+
+class BaHarness:
+    """N nodes each running one BA instance for the same instance id."""
+
+    def __init__(self, n: int, seed: int | None = None):
+        self.params = ProtocolParams.for_n(n)
+        self.network = InstantNetwork(n, seed=seed)
+        self.instance_id = BAInstanceId(epoch=1, slot=0)
+        coin = CommonCoin()
+        self.outputs: dict[int, int] = {}
+        self.instances: list[BinaryAgreement] = []
+        for node_id in range(n):
+            ctx = NodeContext(node_id, self.network, self.network)
+            ba = BinaryAgreement(
+                params=self.params,
+                instance=self.instance_id,
+                ctx=ctx,
+                coin=coin,
+                on_output=lambda _id, value, node_id=node_id: self.outputs.__setitem__(
+                    node_id, value
+                ),
+            )
+            self.network.attach(node_id, _Adapter(ba))
+            self.instances.append(ba)
+
+    def input_values(self, values: dict[int, int]):
+        for node_id, value in values.items():
+            self.instances[node_id].input(value)
+
+    def run(self):
+        self.network.run()
+
+
+class _Adapter:
+    def __init__(self, ba):
+        self.ba = ba
+
+    def start(self):
+        return
+
+    def on_message(self, src, msg):
+        self.ba.handle(src, msg)
+
+
+class TestUnanimousInputs:
+    @pytest.mark.parametrize("value", [0, 1])
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_unanimous_input_decides_that_value(self, n, value):
+        harness = BaHarness(n)
+        harness.input_values({i: value for i in range(n)})
+        harness.run()
+        assert harness.outputs == {i: value for i in range(n)}
+
+    def test_unanimous_one_decides_in_first_round(self):
+        harness = BaHarness(4)
+        harness.input_values({i: 1 for i in range(4)})
+        harness.run()
+        assert all(ba.rounds_taken <= 1 for ba in harness.instances)
+
+    def test_all_instances_halt(self):
+        harness = BaHarness(4)
+        harness.input_values({i: 1 for i in range(4)})
+        harness.run()
+        assert all(ba.halted for ba in harness.instances)
+
+
+class TestMixedInputs:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_under_random_schedules(self, seed):
+        harness = BaHarness(7, seed=seed)
+        harness.input_values({i: i % 2 for i in range(7)})
+        harness.run()
+        assert len(harness.outputs) == 7
+        assert len(set(harness.outputs.values())) == 1
+
+    @pytest.mark.parametrize("num_ones", [1, 3, 6])
+    def test_validity_output_was_somebodys_input(self, num_ones):
+        harness = BaHarness(7)
+        values = {i: 1 if i < num_ones else 0 for i in range(7)}
+        harness.input_values(values)
+        harness.run()
+        decided = set(harness.outputs.values())
+        assert len(decided) == 1
+        assert decided.pop() in set(values.values())
+
+    def test_agreement_with_f_silent_nodes(self):
+        harness = BaHarness(7)
+        harness.network.delivery_filter = drop_messages_from({5, 6})
+        harness.input_values({i: 1 for i in range(5)})
+        harness.run()
+        correct_outputs = {i: v for i, v in harness.outputs.items() if i < 5}
+        assert len(correct_outputs) == 5
+        assert set(correct_outputs.values()) == {1}
+
+
+class TestInterface:
+    def test_rejects_non_binary_input(self):
+        harness = BaHarness(4)
+        with pytest.raises(ValueError):
+            harness.instances[0].input(2)
+
+    def test_input_is_idempotent(self):
+        harness = BaHarness(4)
+        harness.instances[0].input(1)
+        harness.instances[0].input(0)  # ignored: input already provided
+        for i in range(1, 4):
+            harness.instances[i].input(1)
+        harness.run()
+        assert set(harness.outputs.values()) == {1}
+
+    def test_has_input_flag(self):
+        harness = BaHarness(4)
+        assert not harness.instances[0].has_input
+        harness.instances[0].input(0)
+        assert harness.instances[0].has_input
+
+    def test_messages_before_input_are_buffered(self):
+        # A node that receives votes before providing its own input must not
+        # lose them: once it inputs, it catches up and decides with the rest.
+        harness = BaHarness(4)
+        for i in range(1, 4):
+            harness.instances[i].input(1)
+        harness.run()
+        assert 0 not in harness.outputs or harness.outputs[0] == 1
+        harness.instances[0].input(1)
+        harness.run()
+        assert harness.outputs[0] == 1
+
+    def test_output_callback_fires_exactly_once(self):
+        calls = []
+        harness = BaHarness(4)
+        harness.instances[0].on_output = lambda _id, value: calls.append(value)
+        harness.input_values({i: 1 for i in range(4)})
+        harness.run()
+        assert len(calls) == 1
+
+
+class TestCoin:
+    def test_biased_first_rounds(self):
+        coin = CommonCoin()
+        instance = BAInstanceId(epoch=9, slot=3)
+        assert coin.flip(instance, 0) == 1
+        assert coin.flip(instance, 1) == 0
+
+    def test_later_rounds_deterministic_and_shared(self):
+        a = CommonCoin(seed=b"s")
+        b = CommonCoin(seed=b"s")
+        instance = BAInstanceId(epoch=2, slot=5)
+        assert [a.flip(instance, r) for r in range(2, 12)] == [
+            b.flip(instance, r) for r in range(2, 12)
+        ]
+
+    def test_different_instances_differ_somewhere(self):
+        coin = CommonCoin()
+        flips_a = [coin.flip(BAInstanceId(epoch=1, slot=0), r) for r in range(2, 34)]
+        flips_b = [coin.flip(BAInstanceId(epoch=1, slot=1), r) for r in range(2, 34)]
+        assert flips_a != flips_b
+
+    def test_values_are_binary(self):
+        coin = CommonCoin()
+        for r in range(2, 50):
+            assert coin.flip(BAInstanceId(epoch=1, slot=0), r) in (0, 1)

@@ -1,0 +1,70 @@
+"""Tests for bandwidth traces."""
+
+import math
+
+import pytest
+
+from repro.sim.bandwidth import ConstantBandwidth, PiecewiseConstantBandwidth
+
+
+class TestConstantBandwidth:
+    def test_finish_time(self):
+        trace = ConstantBandwidth(1000.0)
+        assert trace.finish_time(2.0, 500) == pytest.approx(2.5)
+
+    def test_unlimited(self):
+        trace = ConstantBandwidth(None)
+        assert trace.rate_at(0.0) == math.inf
+        assert trace.finish_time(3.0, 10**9) == 3.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConstantBandwidth(0.0)
+        with pytest.raises(ValueError):
+            ConstantBandwidth(-1.0)
+
+
+class TestPiecewiseConstantBandwidth:
+    def test_single_segment_behaves_like_constant(self):
+        trace = PiecewiseConstantBandwidth([(0.0, 100.0)])
+        assert trace.finish_time(1.0, 50) == pytest.approx(1.5)
+
+    def test_rate_lookup(self):
+        trace = PiecewiseConstantBandwidth([(0.0, 10.0), (5.0, 20.0)])
+        assert trace.rate_at(0.0) == 10.0
+        assert trace.rate_at(4.99) == 10.0
+        assert trace.rate_at(5.0) == 20.0
+        assert trace.rate_at(100.0) == 20.0
+
+    def test_transfer_spanning_segments(self):
+        # 10 B/s for 5 s (50 bytes), then 20 B/s: a 90-byte transfer started
+        # at t=0 finishes at 5 + 40/20 = 7 s.
+        trace = PiecewiseConstantBandwidth([(0.0, 10.0), (5.0, 20.0)])
+        assert trace.finish_time(0.0, 90) == pytest.approx(7.0)
+
+    def test_transfer_through_zero_rate_segment(self):
+        trace = PiecewiseConstantBandwidth([(0.0, 10.0), (1.0, 0.0), (3.0, 10.0)])
+        # 15 bytes: 10 in the first second, stalled for 2 s, 5 more at t>3.
+        assert trace.finish_time(0.0, 15) == pytest.approx(3.5)
+
+    def test_zero_trailing_rate_never_finishes(self):
+        trace = PiecewiseConstantBandwidth([(0.0, 10.0), (1.0, 0.0)])
+        assert trace.finish_time(0.0, 1000) == math.inf
+
+    def test_zero_size_transfer(self):
+        trace = PiecewiseConstantBandwidth([(0.0, 10.0)])
+        assert trace.finish_time(4.0, 0) == 4.0
+
+    def test_start_before_first_breakpoint(self):
+        trace = PiecewiseConstantBandwidth([(1.0, 10.0)])
+        # Transfers started before the trace begins use the first rate from
+        # the first breakpoint onward.
+        assert trace.finish_time(0.0, 10) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantBandwidth([])
+        with pytest.raises(ValueError):
+            PiecewiseConstantBandwidth([(0.0, 1.0), (0.0, 2.0)])
+        with pytest.raises(ValueError):
+            PiecewiseConstantBandwidth([(0.0, -1.0)])

@@ -1,0 +1,86 @@
+"""Tests for the Fig. 2 communication-cost models (AVID-M vs AVID-FP vs AVID)."""
+
+import pytest
+
+from repro.common.params import ProtocolParams
+from repro.vid.costs import (
+    GAMMA,
+    LAMBDA,
+    avid_fp_per_node_cost,
+    avid_m_per_node_cost,
+    avid_per_node_cost,
+    dispersal_lower_bound,
+    normalised_cost,
+)
+
+
+class TestLowerBound:
+    def test_is_block_over_data_shards(self):
+        params = ProtocolParams.for_n(16)
+        assert dispersal_lower_bound(params, 1_000_000) == pytest.approx(1_000_000 / 6)
+
+    def test_all_protocols_respect_the_bound(self):
+        for n in (4, 16, 64, 128):
+            params = ProtocolParams.for_n(n)
+            for size in (100_000, 1_000_000):
+                bound = dispersal_lower_bound(params, size)
+                assert avid_m_per_node_cost(params, size) >= bound
+                assert avid_fp_per_node_cost(params, size) >= bound
+                assert avid_per_node_cost(params, size) >= bound
+
+
+class TestAvidM:
+    def test_close_to_lower_bound_for_large_blocks(self):
+        # The paper: at 1 MB and N > 100, AVID-M stays near the 1/(N-2f) bound.
+        params = ProtocolParams.for_n(128)
+        cost = normalised_cost(avid_m_per_node_cost(params, 1_000_000), 1_000_000)
+        bound = normalised_cost(dispersal_lower_bound(params, 1_000_000), 1_000_000)
+        assert cost < 2.2 * bound
+        assert cost < 0.1  # well under downloading the whole block
+
+    def test_overhead_is_linear_in_n(self):
+        small = avid_m_per_node_cost(ProtocolParams.for_n(16), 0)
+        large = avid_m_per_node_cost(ProtocolParams.for_n(64), 0)
+        assert large < 4.6 * small  # ~linear, certainly not quadratic
+
+
+class TestAvidFP:
+    def test_overhead_is_quadratic_in_n(self):
+        small = avid_fp_per_node_cost(ProtocolParams.for_n(16), 0)
+        large = avid_fp_per_node_cost(ProtocolParams.for_n(64), 0)
+        assert large > 10 * small
+
+    def test_exceeds_full_block_at_large_n_small_block(self):
+        # Fig. 2: at N > 40 and |B| = 100 KB, AVID-FP downloads more than the
+        # whole block per node.
+        params = ProtocolParams.for_n(48)
+        assert avid_fp_per_node_cost(params, 100_000) > 100_000
+
+    def test_avid_m_always_cheaper(self):
+        for n in (4, 8, 16, 32, 64, 128):
+            params = ProtocolParams.for_n(n)
+            for size in (100_000, 1_000_000):
+                assert avid_m_per_node_cost(params, size) < avid_fp_per_node_cost(params, size)
+
+    def test_order_of_magnitude_gap_at_scale(self):
+        # The paper claims 1-2 orders of magnitude better communication cost
+        # for small blocks and larger clusters.
+        params = ProtocolParams.for_n(100)
+        ratio = avid_fp_per_node_cost(params, 100_000) / avid_m_per_node_cost(params, 100_000)
+        assert ratio > 10
+
+    def test_cross_checksum_size_formula(self):
+        # N*lambda + (N-2f)*gamma with lambda=32, gamma=16 (S3.2).
+        assert LAMBDA == 32 and GAMMA == 16
+
+
+class TestOriginalAvid:
+    def test_downloads_at_least_the_whole_block(self):
+        for n in (4, 16, 64):
+            params = ProtocolParams.for_n(n)
+            assert avid_per_node_cost(params, 1_000_000) >= 1_000_000
+
+
+class TestNormalisation:
+    def test_normalised_cost(self):
+        assert normalised_cost(500_000, 1_000_000) == pytest.approx(0.5)

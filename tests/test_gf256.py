@@ -1,0 +1,107 @@
+"""Tests for GF(256) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.gf256 import GF256
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestScalarArithmetic:
+    def test_addition_is_xor(self):
+        assert GF256.add(0b1010, 0b0110) == 0b1100
+        assert GF256.sub(0b1010, 0b0110) == 0b1100
+
+    def test_multiplication_identity_and_zero(self):
+        for a in range(256):
+            assert GF256.mul(a, 1) == a
+            assert GF256.mul(a, 0) == 0
+
+    def test_known_product(self):
+        # 0x57 * 0x83 = 0xC1 in the AES field (FIPS-197 example).
+        assert GF256.mul(0x57, 0x83) == 0xC1
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert GF256.mul(a, GF256.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+
+    def test_division(self):
+        assert GF256.div(GF256.mul(17, 99), 99) == 17
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(5, 0)
+        assert GF256.div(0, 7) == 0
+
+    def test_pow(self):
+        assert GF256.pow(2, 0) == 1
+        assert GF256.pow(0, 5) == 0
+        assert GF256.pow(3, 2) == GF256.mul(3, 3)
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_distributes_over_addition(self, a, b, c):
+        left = GF256.mul(a, GF256.add(b, c))
+        right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+        assert left == right
+
+    @given(a=elements, b=elements)
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_commutes(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(a=nonzero, b=nonzero)
+    @settings(max_examples=100, deadline=None)
+    def test_division_inverts_multiplication(self, a, b):
+        assert GF256.div(GF256.mul(a, b), b) == a
+
+
+class TestMatrixOperations:
+    def test_mat_inv_roundtrip(self):
+        matrix = GF256.vandermonde(4, 4)
+        inverse = GF256.mat_inv(matrix)
+        identity = GF256.mat_mul(matrix, inverse)
+        assert np.array_equal(identity, np.eye(4, dtype=np.uint8))
+
+    def test_mat_inv_singular_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(ValueError):
+            GF256.mat_inv(singular)
+
+    def test_mat_inv_requires_square(self):
+        with pytest.raises(ValueError):
+            GF256.mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_mat_vec_rows_matches_scalar_math(self):
+        matrix = GF256.vandermonde(3, 2)
+        data = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.uint8)
+        result = GF256.mat_vec_rows(matrix, data)
+        for i in range(3):
+            for col in range(3):
+                expected = 0
+                for k in range(2):
+                    expected ^= GF256.mul(int(matrix[i, k]), int(data[k, col]))
+                assert result[i, col] == expected
+
+    def test_mat_vec_rows_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GF256.mat_vec_rows(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8))
+
+    def test_vandermonde_submatrices_invertible(self):
+        # The MDS property: any k rows of the Vandermonde matrix form an
+        # invertible k x k matrix.
+        vander = GF256.vandermonde(8, 4)
+        import itertools
+
+        for rows in itertools.combinations(range(8), 4):
+            GF256.mat_inv(vander[list(rows), :])  # must not raise
+
+    def test_vandermonde_row_limit(self):
+        with pytest.raises(ValueError):
+            GF256.vandermonde(257, 4)

@@ -1,0 +1,43 @@
+"""Tests for protocol instance identifiers."""
+
+from repro.common.ids import BAInstanceId, VIDInstanceId
+
+
+class TestVIDInstanceId:
+    def test_equality_and_hashing(self):
+        a = VIDInstanceId(epoch=3, proposer=1)
+        b = VIDInstanceId(epoch=3, proposer=1)
+        c = VIDInstanceId(epoch=3, proposer=2)
+        assert a == b
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_ordering_by_epoch_then_proposer(self):
+        ids = [
+            VIDInstanceId(epoch=2, proposer=0),
+            VIDInstanceId(epoch=1, proposer=3),
+            VIDInstanceId(epoch=1, proposer=1),
+        ]
+        ordered = sorted(ids)
+        assert ordered == [
+            VIDInstanceId(epoch=1, proposer=1),
+            VIDInstanceId(epoch=1, proposer=3),
+            VIDInstanceId(epoch=2, proposer=0),
+        ]
+
+    def test_str(self):
+        assert "e=5" in str(VIDInstanceId(epoch=5, proposer=2))
+
+
+class TestBAInstanceId:
+    def test_distinct_from_vid_id(self):
+        vid = VIDInstanceId(epoch=1, proposer=0)
+        ba = BAInstanceId(epoch=1, slot=0)
+        assert vid != ba
+
+    def test_usable_as_dict_key(self):
+        table = {BAInstanceId(epoch=e, slot=s): e * 10 + s for e in range(3) for s in range(3)}
+        assert table[BAInstanceId(epoch=2, slot=1)] == 21
+
+    def test_str(self):
+        assert "s=7" in str(BAInstanceId(epoch=1, slot=7))

@@ -1,0 +1,123 @@
+"""Tests for the instant-delivery router used by protocol unit tests."""
+
+import pytest
+
+from repro.sim.instant import InstantNetwork
+from repro.sim.messages import Message
+
+
+class Echo:
+    """Replies to every message once (generates follow-up traffic)."""
+
+    def __init__(self, node_id, network):
+        self.node_id = node_id
+        self.network = network
+        self.seen = []
+        self.started = False
+
+    def start(self):
+        self.started = True
+
+    def on_message(self, src, msg):
+        self.seen.append((src, msg))
+        if not isinstance(msg, _Ack):
+            self.network.send(self.node_id, src, _Ack())
+
+
+class _Ack(Message):
+    pass
+
+
+class TestDelivery:
+    def test_run_delivers_everything(self):
+        network = InstantNetwork(2)
+        nodes = [Echo(i, network) for i in range(2)]
+        for i, node in enumerate(nodes):
+            network.attach(i, node)
+        network.start()
+        assert all(node.started for node in nodes)
+        network.send(0, 1, Message())
+        delivered = network.run()
+        assert delivered == 2  # the message plus the ack
+        assert len(nodes[1].seen) == 1
+        assert len(nodes[0].seen) == 1
+
+    def test_deliver_one_returns_false_when_empty(self):
+        network = InstantNetwork(1)
+        assert network.deliver_one() is False
+
+    def test_pending_count(self):
+        network = InstantNetwork(2)
+        network.attach(0, Echo(0, network))
+        network.attach(1, Echo(1, network))
+        network.send(0, 1, Message())
+        network.send(0, 1, Message())
+        assert network.pending_count == 2
+
+    def test_delivery_filter_drops(self):
+        network = InstantNetwork(2)
+        sink = Echo(1, network)
+        network.attach(1, sink)
+        network.delivery_filter = lambda src, dst, msg: False
+        network.send(0, 1, Message())
+        network.run()
+        assert sink.seen == []
+
+    def test_message_budget(self):
+        network = InstantNetwork(2)
+
+        class Flooder(Echo):
+            def on_message(self, src, msg):
+                self.network.send(self.node_id, src, Message())
+
+        network.attach(0, Flooder(0, network))
+        network.attach(1, Flooder(1, network))
+        network.send(0, 1, Message())
+        with pytest.raises(RuntimeError):
+            network.run(max_messages=100)
+
+
+class TestRandomisedOrder:
+    def _run(self, seed):
+        network = InstantNetwork(3, seed=seed)
+        log = []
+
+        class Logger:
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def start(self):
+                return
+
+            def on_message(self, src, msg):
+                log.append((src, self.node_id))
+
+        for i in range(3):
+            network.attach(i, Logger(i))
+        for dst in (1, 2, 1, 2):
+            network.send(0, dst, Message())
+        network.run()
+        return log
+
+    def test_same_seed_same_order(self):
+        assert self._run(42) == self._run(42)
+
+    def test_all_messages_delivered_regardless_of_order(self):
+        assert sorted(self._run(1)) == sorted(self._run(2))
+
+
+class TestTimers:
+    def test_timers_fire_after_messages_drain(self):
+        network = InstantNetwork(1)
+        events = []
+        network.schedule(5.0, lambda: events.append(("timer", network.now)))
+        network.run()
+        assert events == [("timer", 5.0)]
+
+    def test_timers_fire_in_order(self):
+        network = InstantNetwork(1)
+        events = []
+        network.schedule(5.0, lambda: events.append("late"))
+        network.schedule(1.0, lambda: events.append("early"))
+        network.run()
+        assert events == ["early", "late"]

@@ -1,0 +1,76 @@
+"""Tests for the delivered-block ledger."""
+
+import pytest
+
+from repro.core.block import Block, Transaction
+from repro.core.ledger import DeliveredBlock, Ledger
+
+
+def entry(epoch, proposer, num_txs=1, via_linking=False, at=1.0):
+    txs = tuple(
+        Transaction(tx_id=epoch * 100 + i, origin=proposer, created_at=0.0, size=10)
+        for i in range(num_txs)
+    )
+    block = Block(proposer=proposer, epoch=epoch, transactions=txs)
+    return DeliveredBlock(
+        epoch=epoch,
+        proposer=proposer,
+        block=block,
+        delivered_at=at,
+        via_linking=via_linking,
+        delivered_in_epoch=epoch,
+    )
+
+
+class TestLedger:
+    def test_append_and_totals(self):
+        ledger = Ledger()
+        ledger.append(entry(1, 0, num_txs=2))
+        ledger.append(entry(1, 1, num_txs=3))
+        assert ledger.num_blocks == 2
+        assert ledger.num_transactions == 5
+        assert ledger.total_payload_bytes == 50
+
+    def test_duplicate_slot_rejected(self):
+        ledger = Ledger()
+        ledger.append(entry(1, 0))
+        with pytest.raises(ValueError):
+            ledger.append(entry(1, 0))
+
+    def test_has_delivered(self):
+        ledger = Ledger()
+        ledger.append(entry(2, 3))
+        assert ledger.has_delivered(2, 3)
+        assert not ledger.has_delivered(2, 4)
+        assert not ledger.has_delivered(3, 3)
+
+    def test_sequence_preserves_order(self):
+        ledger = Ledger()
+        ledger.append(entry(1, 1))
+        ledger.append(entry(1, 0, via_linking=True))
+        ledger.append(entry(2, 2))
+        assert ledger.sequence() == [(1, 1), (1, 0), (2, 2)]
+
+    def test_digest_sequence_matches_blocks(self):
+        ledger = Ledger()
+        first = entry(1, 0)
+        ledger.append(first)
+        assert ledger.digest_sequence() == [first.block.digest()]
+
+    def test_transactions_flattened_in_order(self):
+        ledger = Ledger()
+        ledger.append(entry(1, 0, num_txs=2))
+        ledger.append(entry(1, 1, num_txs=1))
+        ids = [tx.tx_id for tx in ledger.transactions()]
+        assert ids == [100, 101, 100]
+
+
+class TestDeliveredBlock:
+    def test_payload_accessors(self):
+        item = entry(1, 0, num_txs=4)
+        assert item.payload_bytes == 40
+        assert item.num_transactions == 4
+
+    def test_via_linking_flag(self):
+        assert entry(1, 0, via_linking=True).via_linking
+        assert not entry(1, 0).via_linking

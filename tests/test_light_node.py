@@ -1,0 +1,109 @@
+"""Tests for the low-bandwidth ("observer") mode sketched in S1 of the paper.
+
+A node running with ``retrieve_blocks=False`` participates fully in
+dispersal and agreement — storing its chunks, voting in every binary
+agreement, contributing to the quorum and therefore to the network's
+security — but never downloads full blocks and only proposes empty blocks.
+It still learns the agreed log of commitments (its ``agreed_epoch``
+advances), which is exactly the mobile-device scenario the paper motivates:
+stay in consensus on a thin connection, catch up on block retrievals later.
+"""
+
+from repro.core.config import NodeConfig
+from repro.core.node import DispersedLedgerNode
+from tests.conftest import build_cluster, submit_texts
+from tests.test_dl_node import assert_identical_ledgers
+
+
+def build_mixed_cluster(params, num_light=1, max_epochs=3, seed=None):
+    """A DL cluster whose last ``num_light`` nodes run in low-bandwidth mode."""
+    light_config = NodeConfig(data_plane="real", retrieve_blocks=False)
+
+    def light_factory(node_id, cluster_params, ctx, **kwargs):
+        kwargs["config"] = light_config
+        return DispersedLedgerNode(node_id, cluster_params, ctx, **kwargs)
+
+    node_classes = {params.n - 1 - i: light_factory for i in range(num_light)}
+    return build_cluster(
+        DispersedLedgerNode,
+        params,
+        seed=seed,
+        max_epochs=max_epochs,
+        node_classes=node_classes,
+    )
+
+
+class TestLowBandwidthMode:
+    def test_light_node_tracks_agreement_without_delivering(self, params4):
+        network, nodes = build_mixed_cluster(params4, num_light=1)
+        for i in range(3):
+            submit_texts(nodes[i], [f"full-{i}-{k}" for k in range(2)])
+        network.start()
+        network.run()
+        light = nodes[3]
+        # It agreed on every epoch's committed set...
+        assert light.agreed_epoch == 3
+        # ...but never retrieved or delivered any block.
+        assert light.ledger.num_blocks == 0
+        assert light.delivered_epoch == 0
+
+    def test_full_nodes_unaffected_by_light_peer(self, params4):
+        network, nodes = build_mixed_cluster(params4, num_light=1)
+        submitted = []
+        for i in range(3):
+            submitted += [tx.tx_id for tx in submit_texts(nodes[i], [f"tx-{i}"])]
+        network.start()
+        network.run()
+        full_nodes = [0, 1, 2]
+        assert_identical_ledgers(nodes, full_nodes)
+        delivered = {tx.tx_id for tx in nodes[0].ledger.transactions()}
+        assert set(submitted) <= delivered
+        assert all(nodes[i].delivered_epoch == 3 for i in full_nodes)
+
+    def test_light_node_proposes_only_empty_blocks(self, params4):
+        network, nodes = build_mixed_cluster(params4, num_light=1)
+        # Even with transactions in its mempool, a light node must not
+        # propose them: it cannot validate state it never downloads.
+        submit_texts(nodes[3], ["should-not-appear"])
+        network.start()
+        network.run()
+        for entry in nodes[0].ledger.entries:
+            if entry.proposer == 3:
+                assert entry.block.is_empty
+        delivered_payloads = {tx.data for tx in nodes[0].ledger.transactions()}
+        assert b"should-not-appear" not in delivered_payloads
+
+    def test_light_node_votes_contribute_to_progress(self, params7):
+        # With f = 2, a 7-node cluster needs N - f = 5 participants; two full
+        # nodes crashed plus two light nodes still leaves enough *voters*
+        # because the light nodes keep voting even though they never retrieve.
+        from tests.test_dl_node import _crashed_factory
+
+        light_config = NodeConfig(data_plane="real", retrieve_blocks=False)
+
+        def light_factory(node_id, cluster_params, ctx, **kwargs):
+            kwargs["config"] = light_config
+            return DispersedLedgerNode(node_id, cluster_params, ctx, **kwargs)
+
+        network, nodes = build_cluster(
+            DispersedLedgerNode,
+            params7,
+            max_epochs=2,
+            node_classes={5: light_factory, 6: light_factory, 4: _crashed_factory()},
+        )
+        submit_texts(nodes[0], ["survives-light-quorum"])
+        network.start()
+        network.run()
+        full_nodes = [0, 1, 2, 3]
+        assert_identical_ledgers(nodes, full_nodes)
+        assert all(nodes[i].delivered_epoch == 2 for i in full_nodes)
+        delivered = {tx.data for tx in nodes[0].ledger.transactions()}
+        assert b"survives-light-quorum" in delivered
+
+    def test_observation_arrays_still_advance(self, params4):
+        network, nodes = build_mixed_cluster(params4, num_light=1)
+        network.start()
+        network.run()
+        # The light node still observes dispersal completions (it holds its
+        # chunks), so its V array matches the full nodes'.
+        assert nodes[3].observation_array() == nodes[0].observation_array()

@@ -1,0 +1,124 @@
+"""Tests for the inter-node linking rule (S4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import ProtocolParams
+from repro.core.linking import (
+    INFINITE_OBSERVATION,
+    completed_prefix,
+    compute_linking_targets,
+    kth_largest,
+    linked_slots,
+)
+
+
+class TestCompletedPrefix:
+    def test_empty(self):
+        assert completed_prefix([]) == 0
+
+    def test_contiguous(self):
+        assert completed_prefix([1, 2, 3]) == 3
+
+    def test_gap_stops_prefix(self):
+        assert completed_prefix([1, 2, 4, 5]) == 2
+
+    def test_missing_first_epoch(self):
+        assert completed_prefix([2, 3]) == 0
+
+    def test_duplicates_ignored(self):
+        assert completed_prefix([1, 1, 2]) == 2
+
+
+class TestKthLargest:
+    def test_basic(self):
+        assert kth_largest([5, 1, 9, 3], 1) == 9
+        assert kth_largest([5, 1, 9, 3], 2) == 5
+        assert kth_largest([5, 1, 9, 3], 4) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            kth_largest([1, 2], 0)
+        with pytest.raises(ValueError):
+            kth_largest([1, 2], 3)
+
+    @given(values=st.lists(st.integers(0, 100), min_size=1, max_size=20), data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sorted_definition(self, values, data):
+        k = data.draw(st.integers(min_value=1, max_value=len(values)))
+        assert kth_largest(values, k) == sorted(values, reverse=True)[k - 1]
+
+
+class TestComputeLinkingTargets:
+    def setup_method(self):
+        self.params = ProtocolParams.for_n(4)  # f = 1, need f+1 = 2 observations
+
+    def test_takes_f_plus_1_largest(self):
+        observations = {
+            0: [5, 0, 0, 0],
+            1: [3, 0, 0, 0],
+            2: [1, 0, 0, 0],
+        }
+        # (f+1) = 2nd largest of column 0 is 3.
+        assert compute_linking_targets(self.params, observations)[0] == 3
+
+    def test_byzantine_overclaim_is_capped(self):
+        # One lying node reports a huge value; the (f+1)-th largest ignores it
+        # as long as at most f observations lie.
+        observations = {
+            0: [100, 0, 0, 0],
+            1: [2, 0, 0, 0],
+            2: [2, 0, 0, 0],
+        }
+        assert compute_linking_targets(self.params, observations)[0] == 2
+
+    def test_bad_blocks_use_infinite_observation(self):
+        observations = {
+            0: [INFINITE_OBSERVATION] * 4,
+            1: [1, 2, 0, 0],
+            2: [1, 1, 0, 0],
+        }
+        targets = compute_linking_targets(self.params, observations)
+        assert targets == [1, 2, 0, 0]
+
+    def test_too_many_bad_blocks_raise(self):
+        observations = {
+            0: [INFINITE_OBSERVATION] * 4,
+            1: [INFINITE_OBSERVATION] * 4,
+            2: [0, 0, 0, 0],
+        }
+        with pytest.raises(ValueError):
+            compute_linking_targets(self.params, observations)
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            compute_linking_targets(self.params, {0: [1, 2], 1: [1, 2]})
+
+    def test_too_few_observations_raise(self):
+        with pytest.raises(ValueError):
+            compute_linking_targets(self.params, {0: [0, 0, 0, 0]})
+
+    def test_result_independent_of_dict_order(self):
+        observations = {0: [3, 1, 0, 2], 1: [2, 2, 0, 1], 2: [4, 0, 0, 1]}
+        reversed_obs = dict(reversed(list(observations.items())))
+        assert compute_linking_targets(self.params, observations) == compute_linking_targets(
+            self.params, reversed_obs
+        )
+
+
+class TestLinkedSlots:
+    def test_excludes_delivered_and_committed(self):
+        targets = [2, 1, 0, 0]
+        delivered = [(1, 0)]
+        committed = [(2, 0)]
+        slots = linked_slots(targets, delivered, committed)
+        assert slots == [(1, 1)]
+
+    def test_sorted_by_epoch_then_node(self):
+        targets = [2, 2, 0, 0]
+        slots = linked_slots(targets, [], [])
+        assert slots == [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_zero_targets_give_nothing(self):
+        assert linked_slots([0, 0, 0], [], []) == []

@@ -1,0 +1,88 @@
+"""Tests for the mempool and the Nagle-style proposal rate control."""
+
+import pytest
+
+from repro.core.block import Transaction
+from repro.core.mempool import Mempool
+
+
+def tx(tx_id, size=100, origin=0):
+    return Transaction(tx_id=tx_id, origin=origin, created_at=0.0, size=size)
+
+
+class TestSubmission:
+    def test_byte_and_count_accounting(self):
+        pool = Mempool()
+        pool.submit(tx(1, 100))
+        pool.submit_many([tx(2, 50), tx(3, 25)])
+        assert pool.pending_count == 3
+        assert pool.pending_bytes == 175
+        assert pool.total_submitted == 3
+
+    def test_requeue_front_preserves_order(self):
+        pool = Mempool()
+        pool.submit(tx(3))
+        pool.requeue_front([tx(1), tx(2)])
+        batch = pool.take_batch(10_000, now=0.0)
+        assert [t.tx_id for t in batch] == [1, 2, 3]
+
+
+class TestNagleRule:
+    def test_ready_when_enough_bytes(self):
+        pool = Mempool(nagle_delay=10.0, nagle_size=150)
+        pool.take_batch(10_000, now=0.0)  # sets the last-proposal clock
+        pool.submit(tx(1, 200))
+        assert pool.ready_to_propose(now=0.001)
+
+    def test_not_ready_before_delay_with_few_bytes(self):
+        pool = Mempool(nagle_delay=0.1, nagle_size=150_000)
+        pool.take_batch(10_000, now=0.0)
+        pool.submit(tx(1, 10))
+        assert not pool.ready_to_propose(now=0.05)
+        assert pool.ready_to_propose(now=0.1)
+
+    def test_time_until_ready(self):
+        pool = Mempool(nagle_delay=0.1, nagle_size=150_000)
+        pool.take_batch(10_000, now=1.0)
+        assert pool.time_until_ready(now=1.04) == pytest.approx(0.06)
+        pool.submit(tx(1, 200_000))
+        assert pool.time_until_ready(now=1.04) == 0.0
+
+    def test_initially_ready(self):
+        pool = Mempool(nagle_delay=5.0, nagle_size=10**9)
+        assert pool.ready_to_propose(now=0.0)
+
+
+class TestTakeBatch:
+    def test_respects_byte_budget(self):
+        pool = Mempool()
+        for i in range(5):
+            pool.submit(tx(i, 100))
+        # The batch never exceeds the byte budget (250 B fits two 100 B txs).
+        batch = pool.take_batch(250, now=0.0)
+        assert [t.tx_id for t in batch] == [0, 1]
+        assert pool.pending_count == 3
+        assert pool.pending_bytes == 300
+
+    def test_single_oversized_transaction_is_taken(self):
+        pool = Mempool()
+        pool.submit(tx(1, 10_000))
+        batch = pool.take_batch(100, now=0.0)
+        assert len(batch) == 1
+
+    def test_empty_pool(self):
+        pool = Mempool()
+        assert pool.take_batch(100, now=0.0) == []
+        assert pool.last_proposal_time == 0.0
+
+    def test_mark_proposal_without_taking(self):
+        pool = Mempool(nagle_delay=0.5)
+        pool.mark_proposal(now=2.0)
+        assert not pool.ready_to_propose(now=2.1)
+        assert pool.ready_to_propose(now=2.5)
+
+    def test_total_proposed_counter(self):
+        pool = Mempool()
+        pool.submit_many([tx(i, 10) for i in range(4)])
+        pool.take_batch(30, now=0.0)
+        assert pool.total_proposed == 3

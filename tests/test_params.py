@@ -1,0 +1,86 @@
+"""Tests for the (N, f) protocol parameters."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import ProtocolParams
+
+
+class TestValidation:
+    def test_minimum_cluster(self):
+        params = ProtocolParams(n=4, f=1)
+        assert params.n == 4
+        assert params.f == 1
+
+    def test_f_zero_allowed(self):
+        params = ProtocolParams(n=1, f=0)
+        assert params.quorum == 1
+
+    def test_rejects_too_many_faults(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(n=4, f=2)
+
+    def test_rejects_n_equal_3f(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(n=6, f=2)
+
+    def test_rejects_negative_f(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(n=4, f=-1)
+
+    def test_rejects_non_positive_n(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(n=0, f=0)
+
+    def test_frozen(self):
+        params = ProtocolParams(n=4, f=1)
+        with pytest.raises(Exception):
+            params.n = 7  # type: ignore[misc]
+
+
+class TestForN:
+    @pytest.mark.parametrize(
+        "n,expected_f",
+        [(1, 0), (2, 0), (3, 0), (4, 1), (6, 1), (7, 2), (10, 3), (16, 5), (128, 42)],
+    )
+    def test_maximum_f(self, n, expected_f):
+        assert ProtocolParams.for_n(n).f == expected_f
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams.for_n(0)
+
+    def test_always_valid(self):
+        for n in range(1, 200):
+            params = ProtocolParams.for_n(n)
+            assert params.n >= 3 * params.f + 1
+
+
+class TestThresholds:
+    def test_quorum_is_n_minus_f(self):
+        params = ProtocolParams(n=16, f=5)
+        assert params.quorum == 11
+
+    def test_small_quorum_is_f_plus_one(self):
+        params = ProtocolParams(n=16, f=5)
+        assert params.small_quorum == 6
+
+    def test_ready_threshold_is_2f_plus_one(self):
+        params = ProtocolParams(n=16, f=5)
+        assert params.ready_threshold == 11
+        assert params.ready_amplify_threshold == 6
+
+    def test_data_shards(self):
+        params = ProtocolParams(n=16, f=5)
+        assert params.data_shards == 6
+        assert params.total_shards == 16
+
+    def test_quorum_exceeds_ready_threshold_guarantee(self):
+        # N - f >= 2f + 1 is what the AVID-M proofs rely on.
+        for n in range(4, 100):
+            params = ProtocolParams.for_n(n)
+            assert params.quorum >= params.ready_threshold
+
+    def test_node_indices(self):
+        params = ProtocolParams(n=4, f=1)
+        assert list(params.node_indices()) == [0, 1, 2, 3]

@@ -1,0 +1,107 @@
+"""Tests for the bandwidth-limited priority pipe."""
+
+import pytest
+
+from repro.sim.bandwidth import ConstantBandwidth, PiecewiseConstantBandwidth
+from repro.sim.events import Simulator
+from repro.sim.messages import Priority
+from repro.sim.pipe import Pipe
+
+
+def make_pipe(rate=100.0):
+    sim = Simulator()
+    return sim, Pipe(sim, ConstantBandwidth(rate))
+
+
+class TestServiceOrder:
+    def test_transfer_duration(self):
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+        pipe.submit(50, Priority.DISPERSAL, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+
+    def test_fifo_within_priority(self):
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+        pipe.submit(100, Priority.DISPERSAL, lambda: done.append("a"))
+        pipe.submit(100, Priority.DISPERSAL, lambda: done.append("b"))
+        sim.run()
+        assert done == ["a", "b"]
+
+    def test_dispersal_preempts_queued_retrieval(self):
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+        # One transfer is in flight; then a retrieval and a dispersal arrive.
+        pipe.submit(10, Priority.DISPERSAL, lambda: done.append("first"))
+        pipe.submit(100, Priority.RETRIEVAL, lambda: done.append("retrieval"))
+        pipe.submit(100, Priority.DISPERSAL, lambda: done.append("dispersal"))
+        sim.run()
+        assert done == ["first", "dispersal", "retrieval"]
+
+    def test_rank_orders_within_priority(self):
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+        pipe.submit(10, Priority.DISPERSAL, lambda: done.append("head"))
+        pipe.submit(10, Priority.RETRIEVAL, lambda: done.append("epoch3"), rank=3.0)
+        pipe.submit(10, Priority.RETRIEVAL, lambda: done.append("epoch1"), rank=1.0)
+        pipe.submit(10, Priority.RETRIEVAL, lambda: done.append("epoch2"), rank=2.0)
+        sim.run()
+        assert done == ["head", "epoch1", "epoch2", "epoch3"]
+
+    def test_time_varying_rate(self):
+        sim = Simulator()
+        pipe = Pipe(sim, PiecewiseConstantBandwidth([(0.0, 10.0), (1.0, 90.0)]))
+        done = []
+        pipe.submit(100, Priority.DISPERSAL, lambda: done.append(sim.now))
+        sim.run()
+        # 10 bytes in the first second, remaining 90 bytes at 90 B/s.
+        assert done == [pytest.approx(2.0)]
+
+
+class TestAbort:
+    def test_aborted_transfer_consumes_no_time(self):
+        sim, pipe = make_pipe(rate=10.0)
+        done = []
+        cancelled = {"flag": False}
+        pipe.submit(100, Priority.DISPERSAL, lambda: done.append("first"))
+        pipe.submit(
+            1000,
+            Priority.DISPERSAL,
+            lambda: done.append("aborted"),
+            abort=lambda: cancelled["flag"],
+        )
+        pipe.submit(10, Priority.DISPERSAL, lambda: done.append("last"))
+        cancelled["flag"] = True
+        sim.run()
+        assert done == ["first", "last"]
+        assert sim.now == pytest.approx(11.0)
+        assert pipe.bytes_aborted == 1000
+
+    def test_abort_false_still_transfers(self):
+        sim, pipe = make_pipe(rate=10.0)
+        done = []
+        pipe.submit(10, Priority.DISPERSAL, lambda: done.append("kept"), abort=lambda: False)
+        sim.run()
+        assert done == ["kept"]
+
+
+class TestAccounting:
+    def test_bytes_and_busy_time(self):
+        sim, pipe = make_pipe(rate=100.0)
+        pipe.submit(50, Priority.DISPERSAL, lambda: None)
+        pipe.submit(150, Priority.RETRIEVAL, lambda: None)
+        sim.run()
+        assert pipe.bytes_transferred == 200
+        assert pipe.busy_time == pytest.approx(2.0)
+
+    def test_queued_bytes(self):
+        sim, pipe = make_pipe(rate=1.0)
+        pipe.submit(10, Priority.DISPERSAL, lambda: None)
+        pipe.submit(20, Priority.RETRIEVAL, lambda: None)
+        assert pipe.queued_bytes == 20  # the first transfer is in flight
+
+    def test_negative_size_rejected(self):
+        _, pipe = make_pipe()
+        with pytest.raises(ValueError):
+            pipe.submit(-1, Priority.DISPERSAL, lambda: None)

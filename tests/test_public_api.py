@@ -1,0 +1,51 @@
+"""The public API surface: everything advertised in __all__ must be importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.adversary",
+    "repro.ba",
+    "repro.common",
+    "repro.core",
+    "repro.crypto",
+    "repro.erasure",
+    "repro.experiments",
+    "repro.honeybadger",
+    "repro.metrics",
+    "repro.sim",
+    "repro.vid",
+    "repro.workload",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} has no __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} is advertised but missing"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_convenience_imports():
+    from repro import (
+        DispersedLedgerNode,
+        HoneyBadgerNode,
+        NodeConfig,
+        ProtocolParams,
+        Transaction,
+    )
+
+    params = ProtocolParams.for_n(4)
+    assert params.f == 1
+    assert NodeConfig().linking
+    assert DispersedLedgerNode is not HoneyBadgerNode
+    assert Transaction(tx_id=1, origin=0, created_at=0.0, size=1, data=b"x").size == 1

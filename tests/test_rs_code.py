@@ -1,0 +1,121 @@
+"""Tests for the systematic Reed-Solomon erasure code."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, DecodingError
+from repro.erasure.rs_code import ReedSolomonCode
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ReedSolomonCode(0, 4)
+        with pytest.raises(ConfigurationError):
+            ReedSolomonCode(5, 4)
+        with pytest.raises(ConfigurationError):
+            ReedSolomonCode(10, 256)
+
+    def test_systematic_prefix(self):
+        code = ReedSolomonCode(3, 6)
+        block = bytes(range(60))
+        shards = code.encode(block)
+        # The first k shards concatenated are the length header + payload.
+        prefix = b"".join(shards[:3])
+        assert prefix[4 : 4 + len(block)] == block
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("k,n", [(1, 4), (2, 4), (6, 16), (2, 7), (3, 10)])
+    def test_decode_from_first_k(self, k, n):
+        code = ReedSolomonCode(k, n)
+        block = b"dispersed ledger" * 10
+        shards = code.encode(block)
+        assert len(shards) == n
+        assert code.decode({i: shards[i] for i in range(k)}) == block
+
+    def test_decode_from_parity_only(self):
+        code = ReedSolomonCode(2, 6)
+        block = b"parity path"
+        shards = code.encode(block)
+        assert code.decode({4: shards[4], 5: shards[5]}) == block
+
+    def test_every_k_subset_decodes_identically(self):
+        code = ReedSolomonCode(2, 5)
+        block = b"any subset works"
+        shards = code.encode(block)
+        for subset in itertools.combinations(range(5), 2):
+            assert code.decode({i: shards[i] for i in subset}) == block
+
+    def test_empty_block(self):
+        code = ReedSolomonCode(3, 7)
+        shards = code.encode(b"")
+        assert code.decode({i: shards[i] for i in (1, 4, 6)}) == b""
+
+    def test_extra_shards_ignored(self):
+        code = ReedSolomonCode(2, 4)
+        block = b"extra"
+        shards = code.encode(block)
+        assert code.decode(dict(enumerate(shards))) == block
+
+    def test_shard_sizes_equal(self):
+        code = ReedSolomonCode(3, 9)
+        shards = code.encode(b"x" * 100)
+        assert len({len(s) for s in shards}) == 1
+        assert len(shards[0]) == code.shard_size(100)
+
+
+class TestDecodeErrors:
+    def test_too_few_shards(self):
+        code = ReedSolomonCode(3, 6)
+        shards = code.encode(b"hello world")
+        with pytest.raises(DecodingError):
+            code.decode({0: shards[0], 1: shards[1]})
+
+    def test_mismatched_lengths(self):
+        code = ReedSolomonCode(2, 4)
+        shards = code.encode(b"hello world")
+        with pytest.raises(DecodingError):
+            code.decode({0: shards[0], 1: shards[1] + b"\x00"})
+
+    def test_out_of_range_index(self):
+        code = ReedSolomonCode(2, 4)
+        shards = code.encode(b"hello world")
+        with pytest.raises(DecodingError):
+            code.decode({0: shards[0], 9: shards[1]})
+
+    def test_empty_shards(self):
+        code = ReedSolomonCode(2, 4)
+        with pytest.raises(DecodingError):
+            code.decode({0: b"", 1: b""})
+
+    def test_corrupted_length_header(self):
+        code = ReedSolomonCode(2, 4)
+        shards = code.encode(b"ab")
+        bogus = b"\xff" * len(shards[0])
+        with pytest.raises(DecodingError):
+            code.decode({0: bogus, 1: shards[1]})
+
+
+class TestProperties:
+    @given(
+        block=st.binary(min_size=0, max_size=512),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_subset_roundtrip(self, block, data):
+        code = ReedSolomonCode(4, 10)
+        shards = code.encode(block)
+        indices = data.draw(
+            st.lists(st.integers(min_value=0, max_value=9), min_size=4, max_size=10, unique=True)
+        )
+        assert code.decode({i: shards[i] for i in indices}) == block
+
+    @given(block=st.binary(min_size=1, max_size=256))
+    @settings(max_examples=40, deadline=None)
+    def test_reencode_is_deterministic(self, block):
+        code = ReedSolomonCode(3, 7)
+        assert code.encode(block) == code.reencode(block)

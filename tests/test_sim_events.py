@@ -1,0 +1,98 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.events import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(1.5, lambda: order.append("middle"))
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_run_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_may_schedule_more_events(self):
+        sim = Simulator()
+        hits = []
+
+        def recur(depth):
+            hits.append(sim.now)
+            if depth > 0:
+                sim.schedule(1.0, lambda: recur(depth - 1))
+
+        sim.schedule(0.0, lambda: recur(3))
+        sim.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestRunLimits:
+    def test_run_until_stops_before_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        end = sim.run(until=5.0)
+        assert fired == [1]
+        assert end == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        assert sim.run(until=7.0) == 7.0
+        assert sim.now == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("b"))
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == ["a", "b"]
