@@ -39,6 +39,30 @@ def test_reed_solomon_decode_250kb(benchmark, params16):
     assert decoded == block
 
 
+def test_reed_solomon_decode_systematic_fast_path(benchmark, params16):
+    code = ReedSolomonCode(params16.data_shards, params16.total_shards)
+    block = bytes(range(256)) * (BLOCK_SIZE // 256)
+    shards = code.encode(block)
+    # The first k shards are systematic: decoding skips the kernel entirely.
+    subset = {i: shards[i] for i in range(params16.data_shards)}
+    decoded = benchmark(code.decode, subset)
+    assert decoded == block
+
+
+def test_reed_solomon_encode_many_8x250kb(benchmark, params16):
+    code = ReedSolomonCode(params16.data_shards, params16.total_shards)
+    blocks = [bytes([b % 256]) * BLOCK_SIZE for b in range(8)]
+    batched = benchmark(code.encode_many, blocks)
+    assert len(batched) == 8 and all(len(s) == 16 for s in batched)
+
+
+def test_merkle_proofs_all_16_leaves(benchmark, params16):
+    code = ReedSolomonCode(params16.data_shards, params16.total_shards)
+    tree = MerkleTree(code.encode(bytes(BLOCK_SIZE)))
+    proofs = benchmark(tree.proofs_all)
+    assert len(proofs) == 16
+
+
 def test_merkle_tree_build_16_leaves(benchmark, params16):
     code = ReedSolomonCode(params16.data_shards, params16.total_shards)
     shards = code.encode(bytes(BLOCK_SIZE))

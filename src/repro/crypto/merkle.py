@@ -7,13 +7,25 @@ that root, and verifies the proof before accepting the chunk.
 
 The tree pads the leaf layer to the next power of two with a fixed empty
 digest so that proof sizes are ``ceil(log2 N)`` siblings.
+
+Every level is stored as one packed ``bytes`` buffer of 32-byte digests,
+built bottom-up in a single :mod:`hashlib` pass per level — no per-node
+list allocations.  Proofs slice siblings straight out of those buffers;
+:meth:`MerkleTree.proofs_all` is the convenience form for AVID-M's
+"one proof per server" dispersal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.hashing import DIGEST_SIZE, hash_data, hash_pair
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    digest_leaves_into,
+    digest_level_into,
+    hash_data,
+    hash_pair,
+)
 
 _EMPTY_LEAF = hash_data(b"\x00merkle-padding")
 
@@ -46,24 +58,32 @@ class MerkleTree:
         width = 1
         while width < len(leaves):
             width *= 2
-        level = [hash_data(leaf) for leaf in leaves]
-        level.extend([_EMPTY_LEAF] * (width - len(leaves)))
-        self._levels: list[list[bytes]] = [level]
-        while len(level) > 1:
-            level = [
-                hash_pair(level[i], level[i + 1]) for i in range(0, len(level), 2)
-            ]
-            self._levels.append(level)
+        level = bytearray(width * DIGEST_SIZE)
+        digest_leaves_into(level, leaves)
+        for pos in range(len(leaves), width):
+            level[pos * DIGEST_SIZE : (pos + 1) * DIGEST_SIZE] = _EMPTY_LEAF
+        #: Packed digest buffers, leaf level first, root level (32 bytes) last.
+        self._levels: list[bytes] = [bytes(level)]
+        while width > 1:
+            width //= 2
+            parent = bytearray(width * DIGEST_SIZE)
+            digest_level_into(parent, self._levels[-1])
+            self._levels.append(bytes(parent))
 
     @property
     def root(self) -> bytes:
         """Root digest of the tree."""
-        return self._levels[-1][0]
+        return self._levels[-1]
 
     @property
     def num_leaves(self) -> int:
         """Number of original (unpadded) leaves."""
         return self._num_leaves
+
+    def _sibling(self, depth: int, pos: int) -> bytes:
+        level = self._levels[depth]
+        start = (pos ^ 1) * DIGEST_SIZE
+        return level[start : start + DIGEST_SIZE]
 
     def proof(self, index: int) -> MerkleProof:
         """Build the inclusion proof for leaf ``index``."""
@@ -71,11 +91,18 @@ class MerkleTree:
             raise IndexError(f"leaf index {index} out of range [0, {self._num_leaves})")
         siblings: list[bytes] = []
         pos = index
-        for level in self._levels[:-1]:
-            sibling_pos = pos ^ 1
-            siblings.append(level[sibling_pos])
+        for depth in range(len(self._levels) - 1):
+            siblings.append(self._sibling(depth, pos))
             pos //= 2
         return MerkleProof(index=index, siblings=tuple(siblings))
+
+    def proofs_all(self) -> list[MerkleProof]:
+        """Inclusion proofs for every original leaf.
+
+        What AVID-M's dispersal needs (one proof per server); proofs slice
+        their siblings straight out of the packed level buffers.
+        """
+        return [self.proof(index) for index in range(self._num_leaves)]
 
 
 def merkle_root(leaves: list[bytes]) -> bytes:

@@ -8,6 +8,6 @@ arithmetic, accelerated with numpy table lookups.
 """
 
 from repro.erasure.gf256 import GF256
-from repro.erasure.rs_code import ReedSolomonCode
+from repro.erasure.rs_code import DECODE_CACHE_SIZE, ReedSolomonCode
 
-__all__ = ["GF256", "ReedSolomonCode"]
+__all__ = ["DECODE_CACHE_SIZE", "GF256", "ReedSolomonCode"]

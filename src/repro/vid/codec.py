@@ -95,13 +95,30 @@ class RealCodec:
 
     def encode(self, payload: bytes) -> DispersalBundle:
         """Encode ``payload`` into N chunks committed to by a Merkle root."""
-        shards = self._rs.encode(payload)
+        return self._bundle(self._rs.encode(payload), len(payload))
+
+    def encode_many(self, payloads: list[bytes]) -> list[DispersalBundle]:
+        """Encode several payloads, batching the Reed-Solomon parity work.
+
+        All payloads share one GF(256) kernel invocation (see
+        :meth:`repro.erasure.rs_code.ReedSolomonCode.encode_many`); each
+        still gets its own Merkle tree and root.  Bundles are byte-identical
+        to encoding each payload with :meth:`encode`.
+        """
+        shard_lists = self._rs.encode_many(payloads)
+        return [
+            self._bundle(shards, len(payload))
+            for shards, payload in zip(shard_lists, payloads)
+        ]
+
+    def _bundle(self, shards: list[bytes], payload_size: int) -> DispersalBundle:
         tree = MerkleTree(shards)
+        proofs = tree.proofs_all()
         chunks = tuple(
-            Chunk(index=i, size=len(shards[i]), data=shards[i], proof=tree.proof(i))
+            Chunk(index=i, size=len(shards[i]), data=shards[i], proof=proofs[i])
             for i in range(self.params.n)
         )
-        return DispersalBundle(root=tree.root, chunks=chunks, payload_size=len(payload))
+        return DispersalBundle(root=tree.root, chunks=chunks, payload_size=payload_size)
 
     def verify_chunk(self, root: bytes, chunk: Chunk) -> bool:
         """Check that ``chunk`` really is the ``chunk.index``-th leaf under ``root``."""
@@ -165,6 +182,10 @@ class VirtualCodec:
 
     def chunk_wire_size(self, payload_size: int) -> int:
         return self.chunk_payload_size(payload_size) + _proof_wire_size(self.params.n)
+
+    def encode_many(self, payloads: list[Any]) -> list[DispersalBundle]:
+        """Batch form of :meth:`encode` (no actual batching — nothing to batch)."""
+        return [self.encode(payload) for payload in payloads]
 
     def encode(self, payload: Any) -> DispersalBundle:
         size = payload.size if hasattr(payload, "size") else len(payload)

@@ -97,6 +97,14 @@ class TestFig02:
         )
         assert measured == pytest.approx(modelled, rel=0.25)
 
+    def test_batched_dispersal_matches_single(self):
+        from repro.experiments.fig02 import measure_avid_m_batch_dispersal_cost
+
+        n, block_size = 7, 50_000
+        single = measure_avid_m_dispersal_cost(n, block_size)
+        batched = measure_avid_m_batch_dispersal_cost(n, block_size, num_blocks=3)
+        assert batched == pytest.approx(single, rel=1e-9)
+
     def test_crossover_exists_for_small_blocks(self):
         threshold = crossover_n(100_000)
         assert threshold is not None and threshold < 128

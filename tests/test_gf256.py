@@ -105,3 +105,115 @@ class TestMatrixOperations:
     def test_vandermonde_row_limit(self):
         with pytest.raises(ValueError):
             GF256.vandermonde(257, 4)
+
+
+def _scalar_mat_vec(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Reference implementation: triple loop of scalar GF(256) operations."""
+    m, k = matrix.shape
+    width = data.shape[1]
+    out = np.zeros((m, width), dtype=np.uint8)
+    for row in range(m):
+        for col in range(width):
+            acc = 0
+            for inner in range(k):
+                acc ^= GF256.mul(int(matrix[row, inner]), int(data[inner, col]))
+            out[row, col] = acc
+    return out
+
+
+class TestVectorizedKernelVsScalarReference:
+    """The vectorised kernel must agree with plain scalar field arithmetic."""
+
+    @given(
+        m=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=1, max_value=6),
+        width=st.integers(min_value=1, max_value=35),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_matrices(self, m, k, width, data):
+        matrix = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(elements, min_size=k, max_size=k),
+                    min_size=m,
+                    max_size=m,
+                )
+            ),
+            dtype=np.uint8,
+        )
+        payload = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(elements, min_size=width, max_size=width),
+                    min_size=k,
+                    max_size=k,
+                )
+            ),
+            dtype=np.uint8,
+        )
+        assert np.array_equal(
+            GF256.mat_vec_rows(matrix, payload), _scalar_mat_vec(matrix, payload)
+        )
+
+    def test_zero_rows_and_identity_coefficients(self):
+        # A matrix mixing all special-cased coefficients: a fully zero row
+        # (skipped entirely), coefficient 1 (XOR without table lookup), and a
+        # generic coefficient (pair-table gather).
+        matrix = np.array([[0, 0, 0], [1, 0, 1], [2, 7, 255]], dtype=np.uint8)
+        data = np.arange(3 * 9, dtype=np.uint8).reshape(3, 9)
+        result = GF256.mat_vec_rows(matrix, data)
+        assert np.array_equal(result, _scalar_mat_vec(matrix, data))
+        assert not result[0].any()
+
+    def test_width_one(self):
+        matrix = np.array([[3, 5], [1, 0]], dtype=np.uint8)
+        data = np.array([[200], [47]], dtype=np.uint8)
+        assert np.array_equal(
+            GF256.mat_vec_rows(matrix, data), _scalar_mat_vec(matrix, data)
+        )
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 8, 41, 100])
+    def test_odd_and_even_widths(self, width):
+        rng = np.random.default_rng(width)
+        matrix = rng.integers(0, 256, size=(4, 3), dtype=np.uint8)
+        data = rng.integers(0, 256, size=(3, width), dtype=np.uint8)
+        assert np.array_equal(
+            GF256.mat_vec_rows(matrix, data), _scalar_mat_vec(matrix, data)
+        )
+
+    def test_non_contiguous_data(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 256, size=(3, 2), dtype=np.uint8)
+        wide = rng.integers(0, 256, size=(2, 20), dtype=np.uint8)
+        strided = wide[:, ::2]
+        assert np.array_equal(
+            GF256.mat_vec_rows(matrix, strided),
+            _scalar_mat_vec(matrix, np.ascontiguousarray(strided)),
+        )
+
+    def test_mat_vec_bytes_matches_array_kernel(self):
+        rng = np.random.default_rng(13)
+        matrix = rng.integers(0, 256, size=(4, 3), dtype=np.uint8)
+        data = rng.integers(0, 256, size=(3, 17), dtype=np.uint8)
+        rows = [data[i].tobytes() for i in range(3)]
+        expected = GF256.mat_vec_rows(matrix, data)
+        result = GF256.mat_vec_bytes(matrix, rows)
+        assert result == [expected[i].tobytes() for i in range(4)]
+
+    def test_mat_vec_bytes_rejects_ragged_rows(self):
+        matrix = np.ones((2, 2), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            GF256.mat_vec_bytes(matrix, [b"abc", b"ab"])
+        with pytest.raises(ValueError):
+            GF256.mat_vec_bytes(matrix, [b"abc"])
+
+    def test_mat_vec_bytes_zero_matrix_row(self):
+        matrix = np.array([[0, 0]], dtype=np.uint8)
+        assert GF256.mat_vec_bytes(matrix, [b"xy", b"zw"]) == [b"\x00\x00"]
+
+    def test_mat_mul_matches_scalar_reference(self):
+        rng = np.random.default_rng(11)
+        a = rng.integers(0, 256, size=(5, 4), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(4, 7), dtype=np.uint8)
+        assert np.array_equal(GF256.mat_mul(a, b), _scalar_mat_vec(a, b))

@@ -82,6 +82,21 @@ class TestMerkleTree:
         assert proof.wire_size == 4 + DIGEST_SIZE * 4
 
 
+class TestProofsAll:
+    @pytest.mark.parametrize("count", [1, 2, 3, 7, 8, 16, 33])
+    def test_matches_individual_proofs(self, count):
+        leaves = [f"leaf-{i}".encode() for i in range(count)]
+        tree = MerkleTree(leaves)
+        proofs = tree.proofs_all()
+        assert proofs == [tree.proof(i) for i in range(count)]
+
+    def test_all_batch_proofs_verify(self):
+        leaves = [bytes([i]) * (i + 1) for i in range(11)]
+        tree = MerkleTree(leaves)
+        for leaf, proof in zip(leaves, tree.proofs_all()):
+            assert verify_proof(tree.root, leaf, proof)
+
+
 class TestMerkleProperties:
     @given(
         leaves=st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=33),

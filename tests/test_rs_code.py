@@ -100,6 +100,127 @@ class TestDecodeErrors:
             code.decode({0: bogus, 1: shards[1]})
 
 
+def _clear_decode_cache():
+    from repro.erasure.rs_code import _decode_inverse
+
+    _decode_inverse.cache_clear()
+
+
+class TestSystematicSelection:
+    """Decoding prefers the systematic shards so inversion can be skipped."""
+
+    def test_all_systematic_hits_fast_path(self):
+        _clear_decode_cache()
+        code = ReedSolomonCode(3, 7)
+        block = b"fast path please" * 3
+        shards = code.encode(block)
+        assert code.decode({i: shards[i] for i in range(3)}) == block
+        # The fast path never touches the decode-matrix cache.
+        assert code.decode_cache_info() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_extra_parity_shards_still_hit_fast_path(self):
+        code = ReedSolomonCode(3, 7)
+        block = b"prefer systematic"
+        shards = code.encode(block)
+        supplied = {0: shards[0], 1: shards[1], 2: shards[2], 5: shards[5], 6: shards[6]}
+        assert code.decode(supplied) == block
+        assert code.decode_cache_info()["misses"] == 0
+
+    def test_parity_selection_uses_inversion_branch(self):
+        _clear_decode_cache()
+        code = ReedSolomonCode(3, 7)
+        block = b"inversion branch"
+        shards = code.encode(block)
+        supplied = {1: shards[1], 2: shards[2], 4: shards[4]}
+        assert code.decode(supplied) == block
+        assert code.decode_cache_info()["misses"] == 1
+
+    def test_both_branches_agree(self):
+        code = ReedSolomonCode(4, 10)
+        block = bytes(range(256)) * 3
+        shards = code.encode(block)
+        fast = code.decode({i: shards[i] for i in range(4)})
+        slow = code.decode({i: shards[i] for i in (1, 5, 7, 9)})
+        assert fast == slow == block
+
+
+class TestDecodeMatrixCache:
+    def test_cache_hit_results_identical_to_miss(self):
+        _clear_decode_cache()
+        code = ReedSolomonCode(4, 10)
+        block = b"cache me if you can" * 11
+        shards = code.encode(block)
+        subset = {i: shards[i] for i in (2, 5, 6, 9)}
+        first = code.decode(subset)
+        info_after_miss = code.decode_cache_info()
+        second = code.decode(subset)
+        info_after_hit = code.decode_cache_info()
+        assert first == second == block
+        assert info_after_miss["misses"] == 1 and info_after_miss["hits"] == 0
+        assert info_after_hit["misses"] == 1 and info_after_hit["hits"] == 1
+
+    def test_cache_keyed_by_index_tuple(self):
+        _clear_decode_cache()
+        code = ReedSolomonCode(2, 6)
+        block = b"different subsets, different matrices"
+        shards = code.encode(block)
+        assert code.decode({2: shards[2], 3: shards[3]}) == block
+        assert code.decode({4: shards[4], 5: shards[5]}) == block
+        assert code.decode({2: shards[2], 3: shards[3]}) == block
+        info = code.decode_cache_info()
+        assert info["misses"] == 2 and info["hits"] == 1 and info["size"] == 2
+
+    def test_shared_cache_is_bounded(self):
+        from repro.erasure.rs_code import DECODE_CACHE_SIZE, _decode_inverse
+
+        code = ReedSolomonCode(1, 200)
+        shards = code.encode(b"tiny")
+        for i in range(1, DECODE_CACHE_SIZE + 50):
+            assert code.decode({i: shards[i]}) == b"tiny"
+        info = _decode_inverse.cache_info()
+        assert info.maxsize == DECODE_CACHE_SIZE
+        assert info.currsize <= DECODE_CACHE_SIZE
+
+    def test_sibling_instances_share_inversions(self):
+        from repro.erasure.rs_code import _decode_inverse
+
+        _clear_decode_cache()
+        first = ReedSolomonCode(2, 6)
+        second = ReedSolomonCode(2, 6)
+        shards = first.encode(b"shared work")
+        subset = {3: shards[3], 5: shards[5]}
+        assert first.decode(subset) == b"shared work"
+        assert second.decode(subset) == b"shared work"
+        # One Gauss-Jordan serves both instances: the first triggers it, the
+        # second's counters record a hit against the shared store.
+        assert _decode_inverse.cache_info().misses == 1
+        assert first.decode_cache_info()["misses"] == 1
+        assert second.decode_cache_info() == {"hits": 1, "misses": 0, "size": 1}
+
+
+class TestEncodeMany:
+    def test_matches_individual_encodes(self):
+        code = ReedSolomonCode(3, 8)
+        blocks = [b"", b"a", b"hello world", bytes(range(256)) * 2, b"x" * 37]
+        batched = code.encode_many(blocks)
+        assert batched == [code.encode(block) for block in blocks]
+
+    def test_empty_batch(self):
+        assert ReedSolomonCode(2, 4).encode_many([]) == []
+
+    def test_no_parity_code(self):
+        code = ReedSolomonCode(3, 3)
+        blocks = [b"abcdef", b"ghi"]
+        assert code.encode_many(blocks) == [code.encode(block) for block in blocks]
+
+    @given(blocks=st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_batched_shards_roundtrip(self, blocks):
+        code = ReedSolomonCode(3, 9)
+        for block, shards in zip(blocks, code.encode_many(blocks)):
+            assert code.decode({i: shards[i] for i in (0, 4, 8)}) == block
+
+
 class TestProperties:
     @given(
         block=st.binary(min_size=0, max_size=512),
