@@ -14,41 +14,40 @@ runs the four combinations on one mid-sized controlled network:
 from conftest import bench_duration, fmt_mbps, report
 
 from repro.core.config import NodeConfig
-from repro.experiments.runner import WorkloadSpec, run_experiment
-from repro.sim.bandwidth import ConstantBandwidth
-from repro.sim.network import NetworkConfig
-from repro.workload.traces import MB, spatial_variation_rates
-
-
-def _network(num_nodes, duration):
-    rates = spatial_variation_rates(num_nodes, base=8 * MB, step=1.0 * MB)
-    traces = [ConstantBandwidth(rate) for rate in rates]
-    return NetworkConfig(
-        num_nodes=num_nodes,
-        propagation_delay=0.1,
-        egress_traces=list(traces),
-        ingress_traces=list(traces),
-    )
+from repro.experiments.engine import run_scenario
+from repro.experiments.runner import WorkloadSpec
+from repro.experiments.scenario import (
+    BandwidthSpec,
+    ScenarioSpec,
+    TopologySpec,
+    apply_overrides,
+)
+from repro.workload.traces import MB
 
 
 def test_ablation_linking_and_decoupling(benchmark):
     duration = bench_duration()
     num_nodes = 10
-    workload = WorkloadSpec(kind="saturating")
+    base = ScenarioSpec(
+        name="ablation-linking",
+        topology=TopologySpec(kind="uniform", num_nodes=num_nodes, delay=0.1),
+        bandwidth=BandwidthSpec(kind="spatial", rate=8 * MB, step=1.0 * MB),
+        workload=WorkloadSpec(kind="saturating"),
+        node=NodeConfig(max_block_size=1_000_000),
+        duration=duration,
+        warmup_fraction=0.0,
+    )
+    variants = {
+        "hb": {"protocol": "hb"},
+        "hb-link": {"protocol": "hb-link"},
+        "dl-nolink": {"protocol": "dl", "node.linking": False},
+        "dl": {"protocol": "dl", "node.linking": True},
+    }
 
     def run():
-        network = _network(num_nodes, duration)
-        variants = {
-            "hb": ("hb", NodeConfig(max_block_size=1_000_000)),
-            "hb-link": ("hb-link", NodeConfig(max_block_size=1_000_000)),
-            "dl-nolink": ("dl", NodeConfig(max_block_size=1_000_000, linking=False)),
-            "dl": ("dl", NodeConfig(max_block_size=1_000_000, linking=True)),
-        }
         return {
-            label: run_experiment(
-                protocol, network, duration, workload=workload, node_config=config
-            )
-            for label, (protocol, config) in variants.items()
+            label: run_scenario(apply_overrides(base, overrides)).result
+            for label, overrides in variants.items()
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,94 @@
+"""Scenario-engine throughput report: simulator events/sec and sweep scaling.
+
+Runs a small fixed 4-point sweep through the scenario engine twice — once
+serially, once across worker processes — and appends wall-clock and
+events-per-second numbers to ``benchmarks/BENCH_scenarios.json``, so the
+perf trajectory tracked across PRs covers the simulation layer and not just
+the coding substrate (``BENCH_substrates.json``).  Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_scenarios_report.py
+
+The workload is pinned (same specs, same seeds) so entries are comparable
+across machines only via their events/sec ratio, and across PRs on the same
+machine directly.  On a single-CPU box the parallel pass degenerates to one
+worker and the speedup hovers around 1.0; the ``cpus`` field records that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.config import NodeConfig
+from repro.experiments.engine import sweep
+from repro.experiments.runner import WorkloadSpec
+from repro.experiments.scenario import BandwidthSpec, ScenarioSpec, TopologySpec
+from repro.workload.traces import MB
+
+OUTPUT_PATH = Path(__file__).parent / "BENCH_scenarios.json"
+
+#: The pinned sweep: 4 independent seeds of a 6-node constant-bandwidth run.
+BASE = ScenarioSpec(
+    name="bench-sweep",
+    protocol="dl",
+    topology=TopologySpec(kind="uniform", num_nodes=6, delay=0.05),
+    bandwidth=BandwidthSpec(kind="constant", rate=4 * MB),
+    workload=WorkloadSpec(kind="saturating", target_pending_bytes=2_000_000),
+    node=NodeConfig(max_block_size=500_000),
+    duration=10.0,
+)
+GRID = {"seed": (0, 1, 2, 3)}
+
+
+def run_report() -> dict:
+    serial_started = time.perf_counter()
+    serial = sweep(BASE, GRID, parallel=False)
+    serial_seconds = time.perf_counter() - serial_started
+
+    parallel_started = time.perf_counter()
+    parallel = sweep(BASE, GRID, parallel=True)
+    parallel_seconds = time.perf_counter() - parallel_started
+
+    if serial.summaries() != parallel.summaries():
+        raise RuntimeError("parallel sweep diverged from serial sweep")
+
+    events = serial.events_processed
+    return {
+        "workload": {
+            "scenario": BASE.name,
+            "points": len(serial.points),
+            "num_nodes": BASE.topology.num_nodes,
+            "duration": BASE.duration,
+        },
+        "cpus": os.cpu_count() or 1,
+        "workers": parallel.workers,
+        "events_processed": events,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_speedup": serial_seconds / parallel_seconds,
+        "serial_events_per_second": events / serial_seconds,
+        "parallel_events_per_second": events / parallel_seconds,
+    }
+
+
+def main() -> None:
+    entry = run_report()
+    history: list[dict] = []
+    if OUTPUT_PATH.exists():
+        history = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
+    history.append(entry)
+    OUTPUT_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    print(f"appended entry #{len(history)} to {OUTPUT_PATH}")
+    print(
+        f"{entry['workload']['points']}-point sweep: "
+        f"serial {entry['serial_seconds']:.2f}s "
+        f"({entry['serial_events_per_second']:,.0f} events/s), "
+        f"parallel {entry['parallel_seconds']:.2f}s on {entry['workers']} worker(s) "
+        f"({entry['parallel_speedup']:.2f}x, {entry['cpus']} cpu(s))"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,10 @@ once with f servers refusing to cooperate.
 Run with::
 
     python examples/avid_m_storage.py
+
+This example exercises the VID layer below the scenario engine (see
+``docs/architecture.md`` for the layer map); for timed whole-protocol
+scenarios start from ``examples/scenario_sweep.py`` / ``docs/scenarios.md``.
 """
 
 from __future__ import annotations

@@ -16,6 +16,12 @@ Three scenarios on a 7-node cluster (f = 2) with real erasure-coded blocks:
 Run with::
 
     python examples/byzantine_faults.py
+
+These runs use the instant router and the *node-class* adversaries so the
+full cryptographic checks execute on real bytes.  For timed crash-fault
+scenarios on the bandwidth-accurate simulator, see the declarative
+``adversary-crash-mix`` / ``mid-run-crash`` entries in ``docs/scenarios.md``
+(``python -m repro.experiments run adversary-crash-mix``).
 """
 
 from __future__ import annotations

@@ -15,6 +15,11 @@ fastest way to see the consensus machinery work end to end:
 Run with::
 
     python examples/quickstart.py
+
+This walks the protocol stack directly (``docs/architecture.md`` maps the
+layers).  For bandwidth-accurate experiments — sweeps over protocols,
+topologies, faults and workloads — use the scenario engine instead:
+``examples/scenario_sweep.py`` and ``docs/scenarios.md``.
 """
 
 from __future__ import annotations

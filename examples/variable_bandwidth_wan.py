@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """DispersedLedger vs HoneyBadger on a bandwidth-varying WAN.
 
-This is the paper's core scenario (Fig. 1 / Fig. 9) in miniature: an
+This is the paper's core scenario (Fig. 1 / Fig. 9) in miniature, and the
+short form of the ``bandwidth-flapping`` entry in ``docs/scenarios.md``: an
 8-node wide-area network (f = 2) where *three* nodes take turns having
 their bandwidth collapse — so at any moment more than f nodes have been
 slow recently, and a lockstep protocol cannot simply leave them all behind.
-The example runs both protocols on identical conditions and prints how much
-each node confirmed — showing that with DispersedLedger the slow nodes no
-longer drag everyone else down.
+
+Everything about the conditions lives in one declarative
+:class:`~repro.experiments.scenario.ScenarioSpec`; the comparison is a
+one-axis sweep over the protocol.  The same run is available from the CLI::
+
+    python -m repro.experiments run bandwidth-flapping
 
 Run with::
 
@@ -16,90 +20,30 @@ Run with::
 
 from __future__ import annotations
 
-from repro import NodeConfig, ProtocolParams
-from repro.ba.coin import CommonCoin
-from repro.experiments.runner import PROTOCOLS
-from repro.metrics.collector import MetricsCollector
-from repro.sim.bandwidth import ConstantBandwidth, PiecewiseConstantBandwidth
-from repro.sim.context import NodeContext
-from repro.sim.events import Simulator
-from repro.sim.network import Network, NetworkConfig
-from repro.workload.txgen import SaturatingTransactionGenerator
+from dataclasses import replace
 
-NUM_NODES = 8
-NUM_FLAKY = 3  # more than f = 2, so lockstep protocols cannot ignore them all
-DURATION = 30.0  # virtual seconds
-FAST_RATE = 4_000_000.0  # 4 MB/s
-SLOW_RATE = 300_000.0  # 300 KB/s during a flaky node's bad periods
+from repro.experiments.catalog import get_scenario
+from repro.experiments.engine import sweep
 
-
-def flaky_trace(phase: float) -> PiecewiseConstantBandwidth:
-    """A link that alternates between healthy and heavily degraded.
-
-    ``phase`` staggers the bad periods so that at any point in time at least
-    one of the flaky nodes is currently degraded.
-    """
-    cycle, degraded_for = 12.0, 4.0
-
-    def rate_at(t: float) -> float:
-        return SLOW_RATE if (t - phase) % cycle < degraded_for else FAST_RATE
-
-    breakpoints = [(0.0, rate_at(0.0))]
-    t = 0.5
-    while t < DURATION + cycle:
-        rate = rate_at(t)
-        if rate != breakpoints[-1][1]:
-            breakpoints.append((t, rate))
-        t += 0.5
-    return PiecewiseConstantBandwidth(breakpoints)
-
-
-def run(protocol: str) -> list[float]:
-    """Run one protocol for DURATION virtual seconds; return per-node throughput."""
-    params = ProtocolParams.for_n(NUM_NODES)
-    sim = Simulator()
-    traces = [ConstantBandwidth(FAST_RATE) for _ in range(NUM_NODES - NUM_FLAKY)] + [
-        flaky_trace(phase=4.0 * index) for index in range(NUM_FLAKY)
-    ]
-    network = Network(
-        sim,
-        NetworkConfig(
-            num_nodes=NUM_NODES,
-            propagation_delay=0.08,
-            egress_traces=list(traces),
-            ingress_traces=list(traces),
-        ),
-    )
-    collector = MetricsCollector(NUM_NODES)
-    coin = CommonCoin()
-    config = NodeConfig(max_block_size=400_000)  # virtual data plane by default
-    node_class = PROTOCOLS[protocol]
-    nodes = []
-    for node_id in range(NUM_NODES):
-        ctx = NodeContext(node_id, network, sim)
-        node = node_class(
-            node_id,
-            params,
-            ctx,
-            config=config,
-            coin=coin,
-            on_deliver=collector.record_delivery,
-        )
-        network.attach(node_id, node)
-        nodes.append(node)
-    for node in nodes:
-        generator = SaturatingTransactionGenerator(sim, node, target_pending_bytes=3_000_000)
-        sim.schedule(0.0, generator.start)
-    network.start()
-    sim.run(until=DURATION)
-    return collector.throughputs(DURATION)
+# The catalog entry IS the experiment; the example only renames the run and
+# disables warmup so the printed per-node numbers cover the whole run.
+SPEC = replace(
+    get_scenario("bandwidth-flapping").base,
+    name="variable-bandwidth-wan",
+    warmup_fraction=0.0,
+)
+NUM_NODES = SPEC.topology.num_nodes
+NUM_FLAKY = SPEC.bandwidth.count  # more than f, so lockstep cannot ignore them all
+FAST_RATE = SPEC.bandwidth.rate
+SLOW_RATE = SPEC.bandwidth.degraded_rate  # during a flaky node's bad periods
 
 
 def main() -> None:
     num_healthy = NUM_NODES - NUM_FLAKY
     print(f"{NUM_NODES}-node WAN: nodes {num_healthy}..{NUM_NODES - 1} take turns dropping from "
           f"{FAST_RATE/1e6:.0f} MB/s to {SLOW_RATE/1e6:.1f} MB/s\n")
-    results = {protocol: run(protocol) for protocol in ("dl", "hb")}
+    outcome = sweep(SPEC, {"protocol": ("dl", "hb")})
+    results = {point.spec.protocol: point.result.throughputs for point in outcome.points}
 
     header = f"{'node':>6} " + "".join(f"{protocol:>14}" for protocol in results)
     print(header)

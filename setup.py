@@ -1,3 +1,12 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dispersedledger",
+    version="1.0.0",
+    description="Reproduction of DispersedLedger (NSDI 2022): high-throughput "
+    "Byzantine consensus on variable bandwidth networks",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -18,19 +18,32 @@ nodes out of ``N >= 3f + 1``.  This package provides concrete adversaries:
 * :func:`drop_messages_from` / :func:`drop_messages_between` — delivery
   filters for the instant router, used to emulate partitions and selective
   message loss in tests.
+* :class:`AdversarySpec` + the :func:`register_adversary` registry — the
+  declarative placement layer the scenario engine uses to drop any of the
+  above into a simulated run (``repro.experiments.scenario``).
 """
 
 from repro.adversary.censor import CensoringNode
 from repro.adversary.crash import CrashAfterNode, CrashedNode
 from repro.adversary.equivocator import EquivocatingDisperserNode, send_inconsistent_dispersal
 from repro.adversary.filters import drop_messages_between, drop_messages_from
+from repro.adversary.registry import (
+    ADVERSARIES,
+    AdversarySpec,
+    get_adversary,
+    register_adversary,
+)
 
 __all__ = [
+    "ADVERSARIES",
+    "AdversarySpec",
     "CensoringNode",
     "CrashAfterNode",
     "CrashedNode",
     "EquivocatingDisperserNode",
     "drop_messages_between",
     "drop_messages_from",
+    "get_adversary",
+    "register_adversary",
     "send_inconsistent_dispersal",
 ]

@@ -1,0 +1,118 @@
+"""Declarative adversary placement for the scenario engine.
+
+The scenario engine describes Byzantine behaviour with an
+:class:`AdversarySpec` — *which* misbehaviour (``kind``), *how many* nodes
+(``count``) or *which* nodes (``nodes``), and behaviour parameters — and
+builds the faulty processes through the :data:`ADVERSARIES` registry, so new
+behaviours plug in with :func:`register_adversary` without touching the
+engine.
+
+A registered factory receives the already-built honest node and either
+replaces it on the wire (``CrashedNode``) or wraps it
+(``CrashAfterNode``); the returned object only needs to satisfy the
+:class:`repro.sim.process.Process` protocol.  Node-*class* adversaries that
+change protocol logic from the inside (:class:`CensoringNode`,
+:class:`EquivocatingDisperserNode`) are exercised by the instant-router
+tests and ``examples/byzantine_faults.py``; expressing them here only takes
+a factory that rebuilds the node from the honest instance's parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.adversary.crash import CrashAfterNode, CrashedNode
+from repro.common.errors import ConfigurationError
+from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """Which nodes misbehave, and how.
+
+    Attributes:
+        kind: a key of :data:`ADVERSARIES` (``"none"`` disables placement).
+        count: number of adversarial nodes; the default placement puts them
+            at the *highest* node ids, leaving node 0 (the proposer and city
+            most figures highlight) honest.
+        nodes: explicit adversarial node ids; overrides ``count``.
+        crash_time: virtual time at which ``crash-after`` nodes fall silent.
+        params: free-form behaviour parameters for registered extensions.
+    """
+
+    kind: str = "none"
+    count: int = 0
+    nodes: tuple[int, ...] | None = None
+    crash_time: float = 0.0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind != "none" and self.kind not in ADVERSARIES:
+            raise ConfigurationError(
+                f"unknown adversary kind {self.kind!r}; registered: {sorted(ADVERSARIES)}"
+            )
+        if self.count < 0:
+            raise ConfigurationError("count must be non-negative")
+        if self.crash_time < 0:
+            raise ConfigurationError("crash_time must be non-negative")
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", tuple(self.nodes))
+
+    def placement(self, num_nodes: int) -> tuple[int, ...]:
+        """The adversarial node ids for a cluster of ``num_nodes``."""
+        if self.kind == "none":
+            return ()
+        if self.nodes is not None:
+            out_of_range = [i for i in self.nodes if not 0 <= i < num_nodes]
+            if out_of_range:
+                raise ConfigurationError(
+                    f"adversary nodes {out_of_range} out of range for n={num_nodes}"
+                )
+            return self.nodes
+        if self.count > num_nodes:
+            raise ConfigurationError(
+                f"cannot place {self.count} adversaries in a cluster of {num_nodes}"
+            )
+        return tuple(range(num_nodes - self.count, num_nodes))
+
+    @property
+    def silent_from_start(self) -> bool:
+        """True if the adversarial nodes never participate (skip their workload)."""
+        return self.kind == "crash"
+
+
+#: ``factory(honest_node, clock, spec) -> Process`` — builds the faulty
+#: process that replaces ``honest_node`` on the simulated network.
+AdversaryFactory = Callable[[object, object, AdversarySpec], Process]
+
+ADVERSARIES: dict[str, AdversaryFactory] = {}
+
+
+def register_adversary(kind: str, factory: AdversaryFactory) -> None:
+    """Register a new adversary behaviour under ``kind``."""
+    if kind == "none":
+        raise ConfigurationError('"none" is reserved for the absence of adversaries')
+    ADVERSARIES[kind] = factory
+
+
+def get_adversary(kind: str) -> AdversaryFactory:
+    """Look up a registered adversary factory."""
+    try:
+        return ADVERSARIES[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown adversary kind {kind!r}; registered: {sorted(ADVERSARIES)}"
+        ) from None
+
+
+def _crashed(node, clock, spec: AdversarySpec) -> Process:
+    return CrashedNode(node.node_id)
+
+
+def _crash_after(node, clock, spec: AdversarySpec) -> Process:
+    return CrashAfterNode(node, clock, spec.crash_time)
+
+
+register_adversary("crash", _crashed)
+register_adversary("crash-after", _crash_after)

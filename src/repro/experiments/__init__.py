@@ -1,60 +1,129 @@
-"""Experiment harness: one runner per figure of the paper's evaluation.
+"""Experiment harness: the scenario engine plus one runner per paper figure.
+
+The heart of this package is the **scenario engine**: declarative
+:class:`ScenarioSpec` descriptions of a run (protocol, topology, bandwidth
+model, adversary placement, workload, duration), a :func:`sweep` API that
+expands parameter grids and runs points in parallel across processes, a
+catalog of named scenarios, and one CLI entry point::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig08-geo
 
 ==================  =======================================================
 Paper reference      Runner
 ==================  =======================================================
-Fig. 2 (S3.2)        :func:`repro.experiments.fig02.vid_cost_curve`
-Fig. 8 (S6.2)        :func:`repro.experiments.geo.run_geo_throughput`
+Fig. 2 (S3.2)        ``run fig02-vid-cost`` /
+                     :func:`repro.experiments.fig02.vid_cost_curve`
+Fig. 8 (S6.2)        ``run fig08-geo`` /
+                     :func:`repro.experiments.geo.run_geo_throughput`
 Fig. 9 (S6.2)        :func:`repro.experiments.geo.progress_timelines`
-Fig. 10 (S6.2)       :func:`repro.experiments.latency.run_latency_sweep`
-Fig. 11a (S6.3)      :func:`repro.experiments.controlled.run_spatial_variation`
-Fig. 11b (S6.3)      :func:`repro.experiments.controlled.run_temporal_variation`
-Fig. 12 (S6.4)       :func:`repro.experiments.scalability.model_sweep` /
-                     :func:`repro.experiments.scalability.simulate_point`
+Fig. 10 (S6.2)       ``run fig10-latency`` /
+                     :func:`repro.experiments.latency.run_latency_sweep`
+Fig. 11a (S6.3)      ``run fig11a-spatial`` /
+                     :func:`repro.experiments.controlled.run_spatial_variation`
+Fig. 11b (S6.3)      ``run fig11b-temporal`` /
+                     :func:`repro.experiments.controlled.run_temporal_variation`
+Fig. 12 (S6.4)       ``run fig12-scalability`` /
+                     :func:`repro.experiments.scalability.model_sweep`
 Fig. 13 (S6.4)       same sweep (``dispersal_fraction`` field)
 Fig. 14 (App. A.1)   :func:`repro.experiments.latency.run_latency_metric_comparison`
-Fig. 15 (App. A.2)   :func:`repro.experiments.geo.run_vultr_throughput`
+Fig. 15 (App. A.2)   ``run fig15-vultr`` /
+                     :func:`repro.experiments.geo.run_vultr_throughput`
 Fig. 16 (App. A.3)   :class:`repro.workload.traces.GaussMarkovProcess`
 Headline (S1)        :func:`repro.experiments.summary.run_headline_summary`
 ==================  =======================================================
+
+Beyond the paper, the catalog grows scenario coverage with bandwidth churn
+(``bandwidth-flapping``), heavy-tailed stragglers (``straggler-hetero``),
+crash-fault mixes (``adversary-crash-mix``), mid-run churn
+(``mid-run-crash``) and non-stationary workloads (``bursty-load``); see
+``docs/scenarios.md``.
 
 The benchmark scripts under ``benchmarks/`` call these runners with reduced
 default durations so that ``pytest benchmarks/ --benchmark-only`` completes
 in minutes; every runner takes a ``duration`` argument for longer runs.
 """
 
+from repro.experiments.catalog import (
+    SCENARIOS,
+    NamedScenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
 from repro.experiments.controlled import run_spatial_variation, run_temporal_variation
+from repro.experiments.engine import (
+    ScenarioResult,
+    SweepResult,
+    run_scenario,
+    sweep,
+)
 from repro.experiments.fig02 import measure_avid_m_dispersal_cost, vid_cost_curve
 from repro.experiments.geo import progress_timelines, run_geo_throughput, run_vultr_throughput
 from repro.experiments.latency import run_latency_metric_comparison, run_latency_sweep
 from repro.experiments.runner import (
     PROTOCOLS,
+    WORKLOADS,
     ExperimentResult,
     WorkloadSpec,
+    register_protocol,
+    register_workload,
     run_experiment,
     run_protocol_comparison,
+)
+from repro.experiments.scenario import (
+    BANDWIDTH_MODELS,
+    BandwidthSpec,
+    ScenarioSpec,
+    TopologySpec,
+    apply_override,
+    apply_overrides,
+    build_network_config,
+    expand_grid,
+    register_bandwidth_model,
 )
 from repro.experiments.scalability import model_sweep, simulate_point, validate_cost_model
 from repro.experiments.summary import headline_from_results, run_headline_summary
 
 __all__ = [
+    "BANDWIDTH_MODELS",
+    "BandwidthSpec",
     "ExperimentResult",
+    "NamedScenario",
     "PROTOCOLS",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepResult",
+    "TopologySpec",
+    "WORKLOADS",
     "WorkloadSpec",
+    "apply_override",
+    "apply_overrides",
+    "build_network_config",
+    "expand_grid",
+    "get_scenario",
     "headline_from_results",
+    "list_scenarios",
     "measure_avid_m_dispersal_cost",
     "model_sweep",
     "progress_timelines",
+    "register_bandwidth_model",
+    "register_protocol",
+    "register_scenario",
+    "register_workload",
     "run_experiment",
     "run_geo_throughput",
     "run_headline_summary",
     "run_latency_metric_comparison",
     "run_latency_sweep",
     "run_protocol_comparison",
+    "run_scenario",
     "run_spatial_variation",
     "run_temporal_variation",
     "run_vultr_throughput",
     "simulate_point",
+    "sweep",
     "validate_cost_model",
     "vid_cost_curve",
 ]

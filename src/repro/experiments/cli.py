@@ -1,0 +1,174 @@
+"""Command-line entry point for the scenario engine.
+
+::
+
+    python -m repro.experiments list
+    python -m repro.experiments show fig08-geo
+    python -m repro.experiments run fig08-geo --duration 30 --seed 1
+    python -m repro.experiments run straggler-hetero --grid seed=0,1,2 --json
+    python -m repro.experiments run bandwidth-flapping --set bandwidth.count=4 --serial
+
+``run`` expands the named scenario's grid (extended by any ``--grid`` axes),
+runs every point — in parallel across processes by default — and prints the
+unified summary table.  ``--set`` overrides base-spec fields by dotted path;
+values are parsed as JSON when possible (``--set workload.kind=bursty``
+works too, falling back to the raw string).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import Any, Sequence
+
+from repro.experiments.catalog import NamedScenario, get_scenario, list_scenarios
+from repro.experiments.engine import SweepResult, sweep
+from repro.experiments.scenario import apply_override
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_assignment(text: str) -> tuple[str, Any]:
+    path, sep, value = text.partition("=")
+    if not sep or not path:
+        raise argparse.ArgumentTypeError(f"expected PATH=VALUE, got {text!r}")
+    return path, _parse_value(value)
+
+
+def _parse_axis(text: str) -> tuple[str, tuple[Any, ...]]:
+    path, values = _parse_assignment(text)
+    if isinstance(values, str):
+        parsed = tuple(_parse_value(part) for part in values.split(","))
+    elif isinstance(values, list):
+        parsed = tuple(values)
+    else:
+        parsed = (values,)
+    return path, parsed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run declarative DispersedLedger scenarios and sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the scenario catalog")
+
+    show = sub.add_parser("show", help="print a scenario's base spec and grid as JSON")
+    show.add_argument("scenario", help="catalog name (see `list`)")
+
+    for verb in ("run", "sweep"):
+        cmd = sub.add_parser(
+            verb,
+            help="run a named scenario"
+            + (" (alias of `run` for sweep-heavy invocations)" if verb == "sweep" else ""),
+        )
+        cmd.add_argument("scenario", help="catalog name (see `list`)")
+        cmd.add_argument("--duration", type=float, help="virtual seconds per point")
+        cmd.add_argument("--seed", type=int, help="master seed for every point")
+        cmd.add_argument(
+            "--set",
+            dest="overrides",
+            metavar="PATH=VALUE",
+            action="append",
+            default=[],
+            help="override a base-spec field by dotted path (repeatable)",
+        )
+        cmd.add_argument(
+            "--grid",
+            dest="grid",
+            metavar="PATH=V1,V2,...",
+            action="append",
+            default=[],
+            help="add a sweep axis (repeatable); replaces a same-named catalog axis",
+        )
+        cmd.add_argument("--serial", action="store_true", help="run points in-process")
+        cmd.add_argument("--workers", type=int, help="worker-process count")
+        cmd.add_argument("--json", action="store_true", help="emit JSON summaries")
+    return parser
+
+
+def _resolve(args: argparse.Namespace) -> tuple[NamedScenario, Any, dict[str, tuple]]:
+    entry = get_scenario(args.scenario)
+    base = entry.base
+    if args.duration is not None:
+        base = replace(base, duration=args.duration)
+    if args.seed is not None:
+        base = replace(base, seed=args.seed)
+    for assignment in args.overrides:
+        path, value = _parse_assignment(assignment)
+        base = apply_override(base, path, value)
+    grid: dict[str, tuple] = dict(entry.grid or {})
+    for axis in args.grid:
+        path, values = _parse_axis(axis)
+        grid[path] = values
+    return entry, base, grid
+
+
+def _print_run(entry: NamedScenario, result: SweepResult, as_json: bool) -> None:
+    if as_json:
+        payload = {
+            "scenario": entry.name,
+            "figure": entry.figure,
+            "parallel": result.parallel,
+            "workers": result.workers,
+            "wall_clock_seconds": result.wall_clock_seconds,
+            "events_processed": result.events_processed,
+            "summaries": result.summaries(),
+        }
+        print(json.dumps(payload, indent=2))
+        return
+    figure = f" ({entry.figure})" if entry.figure else ""
+    print(f"scenario {entry.name}{figure}: {entry.description}")
+    print(result.table(columns=entry.columns))
+    mode = f"{result.workers} processes" if result.parallel else "serial"
+    events = result.events_processed
+    rate = f", {events / result.wall_clock_seconds:,.0f} events/s" if events else ""
+    print(
+        f"{len(result.points)} point(s) in {result.wall_clock_seconds:.2f}s wall clock "
+        f"({mode}{rate})"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for entry in list_scenarios():
+            figure = f" [{entry.figure}]" if entry.figure else ""
+            print(f"{entry.name:<22} {entry.num_points():>2} point(s){figure}  {entry.description}")
+        return 0
+
+    if args.command == "show":
+        entry = get_scenario(args.scenario)
+        payload = {
+            "name": entry.name,
+            "description": entry.description,
+            "figure": entry.figure,
+            "base": entry.base.to_dict(),
+            "grid": {key: list(values) for key, values in (entry.grid or {}).items()},
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    entry, base, grid = _resolve(args)
+    result = sweep(
+        base,
+        grid or None,
+        parallel=not args.serial,
+        max_workers=args.workers,
+    )
+    _print_run(entry, result, args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

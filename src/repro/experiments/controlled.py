@@ -16,13 +16,13 @@ variation — with two controlled scenarios on 16 emulated nodes connected by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.config import NodeConfig
-from repro.experiments.runner import ExperimentResult, WorkloadSpec, run_protocol_comparison
-from repro.sim.bandwidth import ConstantBandwidth
-from repro.sim.network import NetworkConfig
-from repro.workload.traces import MB, gauss_markov_traces, spatial_variation_rates
+from repro.experiments.engine import run_scenario
+from repro.experiments.runner import ExperimentResult, WorkloadSpec
+from repro.experiments.scenario import BandwidthSpec, ScenarioSpec, TopologySpec
+from repro.workload.traces import MB, spatial_variation_rates
 
 #: Protocols compared in Fig. 11.
 CONTROLLED_PROTOCOLS = ("dl", "hb-link", "hb")
@@ -72,21 +72,22 @@ def run_spatial_variation(
     the serving side gets proportional headroom.
     """
     rates = spatial_variation_rates(num_nodes, base=base_rate, step=step_rate)
-    network_config = NetworkConfig(
-        num_nodes=num_nodes,
-        propagation_delay=CONTROLLED_DELAY,
-        egress_traces=[ConstantBandwidth(rate * egress_headroom) for rate in rates],
-        ingress_traces=[ConstantBandwidth(rate) for rate in rates],
-    )
-    results = run_protocol_comparison(
-        protocols,
-        network_config,
-        duration,
+    base = ScenarioSpec(
+        name="spatial-variation",
+        topology=TopologySpec(kind="uniform", num_nodes=num_nodes, delay=CONTROLLED_DELAY),
+        bandwidth=BandwidthSpec(
+            kind="spatial", rate=base_rate, step=step_rate, egress_headroom=egress_headroom
+        ),
         workload=WorkloadSpec(kind="saturating"),
-        node_config=NodeConfig(max_block_size=1_000_000),
+        node=NodeConfig(max_block_size=1_000_000),
+        duration=duration,
+        warmup_fraction=warmup_fraction,
         seed=seed,
-        warmup=duration * warmup_fraction,
     )
+    results = {
+        protocol: run_scenario(replace(base, protocol=protocol)).result
+        for protocol in protocols
+    }
     return SpatialVariationResult(rates=rates, results=results)
 
 
@@ -136,54 +137,33 @@ def run_temporal_variation(
 
     Two runs per protocol: one with every node fixed at ``mean_rate`` and one
     with independent Gauss-Markov traces of the same mean (ingress side; the
-    serving side gets ``egress_headroom`` times the same trace shape).
+    serving side gets ``egress_headroom`` times the same trace shape).  Only
+    the ``bandwidth.kind`` axis differs between the control and the varying
+    runs — the scenario spec makes that the literal shape of the experiment.
     """
-    node_config = NodeConfig(max_block_size=1_000_000)
-    workload = WorkloadSpec(kind="saturating")
-    warmup = duration * warmup_fraction
-
-    fixed_config = NetworkConfig(
-        num_nodes=num_nodes,
-        propagation_delay=CONTROLLED_DELAY,
-        egress_traces=[ConstantBandwidth(mean_rate * egress_headroom) for _ in range(num_nodes)],
-        ingress_traces=[ConstantBandwidth(mean_rate) for _ in range(num_nodes)],
-    )
-    fixed = run_protocol_comparison(
-        protocols,
-        fixed_config,
-        duration,
-        workload=workload,
-        node_config=node_config,
-        seed=seed,
-        warmup=warmup,
-    )
-
-    varying_config = NetworkConfig(
-        num_nodes=num_nodes,
-        propagation_delay=CONTROLLED_DELAY,
-        egress_traces=list(
-            gauss_markov_traces(
-                num_nodes,
-                duration,
-                mean=mean_rate * egress_headroom,
-                sigma=sigma * egress_headroom,
-                alpha=alpha,
-                seed=seed,
-            )
+    base = ScenarioSpec(
+        name="temporal-variation",
+        topology=TopologySpec(kind="uniform", num_nodes=num_nodes, delay=CONTROLLED_DELAY),
+        bandwidth=BandwidthSpec(
+            kind="constant",
+            rate=mean_rate,
+            sigma=sigma,
+            alpha=alpha,
+            egress_headroom=egress_headroom,
         ),
-        ingress_traces=list(
-            gauss_markov_traces(
-                num_nodes, duration, mean=mean_rate, sigma=sigma, alpha=alpha, seed=seed + 1
-            )
-        ),
-    )
-    varying = run_protocol_comparison(
-        protocols,
-        varying_config,
-        duration,
-        workload=workload,
-        node_config=node_config,
+        workload=WorkloadSpec(kind="saturating"),
+        node=NodeConfig(max_block_size=1_000_000),
+        duration=duration,
+        warmup_fraction=warmup_fraction,
         seed=seed,
-        warmup=warmup,
     )
+    varying_base = replace(base, bandwidth=replace(base.bandwidth, kind="gauss-markov"))
+    fixed = {
+        protocol: run_scenario(replace(base, protocol=protocol)).result
+        for protocol in protocols
+    }
+    varying = {
+        protocol: run_scenario(replace(varying_base, protocol=protocol)).result
+        for protocol in protocols
+    }
     return TemporalVariationResult(fixed=fixed, varying=varying)

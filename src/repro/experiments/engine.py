@@ -1,0 +1,268 @@
+"""The scenario engine: run declarative specs, serially or across processes.
+
+:func:`run_scenario` turns one :class:`~repro.experiments.scenario.ScenarioSpec`
+into a :class:`ScenarioResult` with a unified summary schema.  :func:`sweep`
+expands a base spec over a parameter grid and runs every point — each point
+is an independent, deterministic simulation, so points run **in parallel
+across worker processes** (``parallel=True``, the default) with bit-identical
+summaries to a serial run.
+
+Wall-clock time is recorded per point and for the whole sweep so the
+benchmark harness (``benchmarks/bench_scenarios_report.py``) can track
+simulator throughput (events per second) across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenario import (
+    Grid,
+    ScenarioSpec,
+    build_network_config,
+    describe_overrides,
+    expand_grid,
+)
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario point: the spec that produced it, and what it measured.
+
+    ``result`` holds the full per-node :class:`ExperimentResult` for ``sim``
+    scenarios and is ``None`` for analytic kinds, whose numbers live in
+    ``extra``.  :meth:`summary` flattens either into one dict with stable
+    keys, the unified schema every report and sweep table is built from.
+    ``wall_clock_seconds`` is real time, not virtual time, and is therefore
+    excluded from :meth:`summary` so summaries are deterministic.
+    """
+
+    spec: ScenarioSpec
+    overrides: dict[str, Any] = field(default_factory=dict)
+    result: ExperimentResult | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return describe_overrides(self.overrides)
+
+    def summary(self) -> dict[str, Any]:
+        base: dict[str, Any] = {
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "label": self.label,
+            "seed": self.spec.seed,
+        }
+        if self.result is None:
+            base.update(self.extra)
+            return base
+        result = self.result
+        latency_medians = [s.p50 for s in result.latency_local if s is not None]
+        # Liveness is judged at the honest nodes; a crashed node's frontier
+        # is pinned at 0 by construction and would mask real stalls.
+        adversarial = set(self.spec.adversary.placement(result.num_nodes))
+        honest_delivered = [
+            epoch
+            for node_id, epoch in enumerate(result.delivered_epochs)
+            if node_id not in adversarial
+        ]
+        base.update(
+            {
+                "protocol": result.protocol,
+                "num_nodes": result.num_nodes,
+                "duration": result.duration,
+                "mean_throughput": result.mean_throughput,
+                "min_throughput": result.min_throughput,
+                "max_throughput": result.max_throughput,
+                "mean_p50_latency": (
+                    sum(latency_medians) / len(latency_medians) if latency_medians else None
+                ),
+                "dispersal_fraction": (
+                    sum(result.dispersal_fractions) / len(result.dispersal_fractions)
+                    if result.dispersal_fractions
+                    else 0.0
+                ),
+                "mean_block_size": result.mean_block_size,
+                "delivered_epochs": min(honest_delivered, default=0),
+                "events_processed": result.events_processed,
+            }
+        )
+        return base
+
+
+def run_scenario(
+    spec: ScenarioSpec, overrides: Mapping[str, Any] | None = None
+) -> ScenarioResult:
+    """Run one scenario point and wrap the outcome in a :class:`ScenarioResult`."""
+    started = time.perf_counter()
+    if spec.kind == "vid-cost":
+        extra = _run_vid_cost(spec)
+        return ScenarioResult(
+            spec=spec,
+            overrides=dict(overrides or {}),
+            extra=extra,
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+    result = run_experiment(
+        spec.protocol,
+        build_network_config(spec),
+        spec.duration,
+        workload=spec.workload,
+        node_config=spec.node,
+        params=spec.params(),
+        seed=spec.seed,
+        warmup=spec.effective_warmup(),
+        adversary=spec.adversary,
+    )
+    return ScenarioResult(
+        spec=spec,
+        overrides=dict(overrides or {}),
+        result=result,
+        wall_clock_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_vid_cost(spec: ScenarioSpec) -> dict[str, Any]:
+    """The Fig. 2 point: modelled dispersal costs plus a measured AVID-M run."""
+    from repro.common.params import ProtocolParams
+    from repro.experiments.fig02 import measure_avid_m_dispersal_cost
+    from repro.vid.costs import (
+        avid_fp_per_node_cost,
+        avid_m_per_node_cost,
+        avid_per_node_cost,
+        dispersal_lower_bound,
+        normalised_cost,
+    )
+
+    n = spec.num_nodes
+    block_size = spec.block_size
+    params = ProtocolParams.for_n(n)
+    return {
+        "n": n,
+        "block_size": block_size,
+        "avid_m": normalised_cost(avid_m_per_node_cost(params, block_size), block_size),
+        "avid_fp": normalised_cost(avid_fp_per_node_cost(params, block_size), block_size),
+        "avid": normalised_cost(avid_per_node_cost(params, block_size), block_size),
+        "lower_bound": normalised_cost(dispersal_lower_bound(params, block_size), block_size),
+        "measured_avid_m": measure_avid_m_dispersal_cost(n, block_size),
+    }
+
+
+def _run_point(point: tuple[dict[str, Any], ScenarioSpec]) -> ScenarioResult:
+    overrides, spec = point
+    return run_scenario(spec, overrides)
+
+
+@dataclass
+class SweepResult:
+    """Every point of one sweep, in deterministic grid order."""
+
+    base: ScenarioSpec
+    grid: dict[str, list[Any]]
+    points: list[ScenarioResult]
+    parallel: bool
+    workers: int
+    wall_clock_seconds: float
+
+    def summaries(self) -> list[dict[str, Any]]:
+        return [point.summary() for point in self.points]
+
+    @property
+    def events_processed(self) -> int:
+        return sum(
+            point.result.events_processed for point in self.points if point.result is not None
+        )
+
+    def table(self, columns: Sequence[str] | None = None) -> str:
+        """An aligned text table of the point summaries (for CLI output)."""
+        summaries = self.summaries()
+        if not summaries:
+            return "(no points)"
+        if columns is None:
+            columns = [key for key in summaries[0] if key not in ("name", "kind", "seed")]
+        rows = [[_format_cell(summary.get(column)) for column in columns] for summary in summaries]
+        widths = [
+            max(len(str(column)), *(len(row[i]) for row in rows))
+            for i, column in enumerate(columns)
+        ]
+        header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+        lines = [header, "  ".join("-" * width for width in widths)]
+        lines.extend("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))) for row in rows)
+        return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def default_workers(num_points: int) -> int:
+    """Worker-process count: one per point, capped at the CPU count."""
+    return max(1, min(num_points, os.cpu_count() or 1))
+
+
+def run_points(
+    points: list[tuple[dict[str, Any], ScenarioSpec]],
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> tuple[list[ScenarioResult], int]:
+    """Run expanded grid points, optionally across processes.
+
+    Returns the results in point order plus the worker count used.  Each
+    point is a pure function of its spec (all randomness is seeded from it),
+    so the parallel path produces summaries identical to the serial one.
+    """
+    workers = max_workers if max_workers is not None else default_workers(len(points))
+    if not parallel or workers <= 1 or len(points) <= 1:
+        return [_run_point(point) for point in points], 1
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        results = list(executor.map(_run_point, points))
+    return results, workers
+
+
+def sweep(
+    base: ScenarioSpec,
+    grid: Grid | None = None,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Expand ``base`` over ``grid`` and run every point.
+
+    Args:
+        base: the spec every point starts from.
+        grid: ``dotted.path -> values`` axes (see
+            :data:`repro.experiments.scenario.Grid`); ``None`` runs just the
+            base spec.
+        parallel: run points across worker processes (the default).  Points
+            never share state, so this is safe for any scenario; flip to
+            ``False`` for easier debugging or when profiling a single run.
+        max_workers: process count (default: one per point, capped at the
+            machine's CPU count).
+    """
+    started = time.perf_counter()
+    # Materialise axis values first: iterator-valued axes must be recorded
+    # with the same values expand_grid consumes.
+    grid_values = {key: list(values) for key, values in (grid or {}).items()}
+    points = expand_grid(base, grid_values)
+    results, workers = run_points(points, parallel=parallel, max_workers=max_workers)
+    return SweepResult(
+        base=base,
+        grid=grid_values,
+        points=results,
+        parallel=parallel and workers > 1,
+        workers=workers,
+        wall_clock_seconds=time.perf_counter() - started,
+    )

@@ -15,11 +15,13 @@ the rest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.config import NodeConfig
-from repro.experiments.runner import ExperimentResult, WorkloadSpec, run_protocol_comparison
-from repro.workload.cities import AWS_CITIES, VULTR_CITIES, CityProfile, city_network_config
+from repro.experiments.engine import run_scenario
+from repro.experiments.runner import ExperimentResult, WorkloadSpec
+from repro.experiments.scenario import ScenarioSpec, TopologySpec
+from repro.workload.cities import AWS_CITIES, VULTR_CITIES, CityProfile, testbed_name
 
 #: Protocols plotted in Fig. 8 (DL-Coupled appears in the text comparison).
 GEO_PROTOCOLS = ("dl", "dl-coupled", "hb-link", "hb")
@@ -68,18 +70,24 @@ def run_geo_throughput(
     The first ``warmup_fraction`` of the run is excluded from the throughput
     numbers so that short simulations are not dominated by the start-up
     transient of the first epochs.
+
+    Each protocol's run is one declarative scenario point; the conditions
+    (same testbed, seed and workload for every protocol) live in the shared
+    base spec and only the protocol axis varies.
     """
-    network_config = city_network_config(cities, duration, seed=seed, fluctuate=fluctuate)
-    node_config = NodeConfig(max_block_size=max_block_size)
-    results = run_protocol_comparison(
-        protocols,
-        network_config,
-        duration,
+    base = ScenarioSpec(
+        name="geo-throughput",
+        topology=TopologySpec(kind="cities", testbed=testbed_name(tuple(cities)), fluctuate=fluctuate),
         workload=WorkloadSpec(kind="saturating"),
-        node_config=node_config,
+        node=NodeConfig(max_block_size=max_block_size),
+        duration=duration,
+        warmup_fraction=warmup_fraction,
         seed=seed,
-        warmup=duration * warmup_fraction,
     )
+    results = {
+        protocol: run_scenario(replace(base, protocol=protocol)).result
+        for protocol in protocols
+    }
     return GeoResult(cities=cities, duration=duration, results=results)
 
 

@@ -18,9 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import NodeConfig
-from repro.experiments.runner import ExperimentResult, WorkloadSpec, run_experiment
+from repro.experiments.engine import run_scenario
+from repro.experiments.runner import ExperimentResult, WorkloadSpec
+from repro.experiments.scenario import ScenarioSpec, TopologySpec, apply_overrides
 from repro.metrics.stats import Summary
-from repro.workload.cities import AWS_CITIES, CityProfile, city_network_config
+from repro.workload.cities import AWS_CITIES, CityProfile, testbed_name
 
 #: Index of the well-connected server highlighted in Fig. 10.
 FAST_CITY = "Ohio"
@@ -82,21 +84,27 @@ def run_latency_sweep(
     warmup: float = 5.0,
     seed: int = 0,
 ) -> LatencySweepResult:
-    """Sweep per-node offered load and record confirmation latency (Fig. 10)."""
-    network_duration = duration
+    """Sweep per-node offered load and record confirmation latency (Fig. 10).
+
+    The sweep is a protocol x load grid over one declarative base scenario.
+    """
+    base = ScenarioSpec(
+        name="latency-sweep",
+        topology=TopologySpec(kind="cities", testbed=testbed_name(tuple(cities))),
+        workload=WorkloadSpec(kind="poisson"),
+        node=NodeConfig(max_block_size=4_000_000),
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
     points: dict[str, list[LatencyPoint]] = {protocol: [] for protocol in protocols}
     for protocol in protocols:
         for load in loads:
-            network_config = city_network_config(cities, network_duration, seed=seed)
-            result = run_experiment(
-                protocol,
-                network_config,
-                duration,
-                workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=load),
-                node_config=NodeConfig(max_block_size=4_000_000),
-                seed=seed,
-                warmup=warmup,
+            spec = apply_overrides(
+                base,
+                {"protocol": protocol, "workload.rate_bytes_per_second": load},
             )
+            result = run_scenario(spec).result
             points[protocol].append(
                 LatencyPoint(
                     protocol=protocol,
@@ -144,16 +152,17 @@ def run_latency_metric_comparison(
     seed: int = 0,
 ) -> LatencyMetricComparison:
     """Run one protocol near capacity and compare the two latency metrics (Fig. 14)."""
-    network_config = city_network_config(cities, duration, seed=seed)
-    result = run_experiment(
-        protocol,
-        network_config,
-        duration,
+    spec = ScenarioSpec(
+        name="latency-metric-comparison",
+        protocol=protocol,
+        topology=TopologySpec(kind="cities", testbed=testbed_name(tuple(cities))),
         workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=load_bytes_per_second),
-        node_config=NodeConfig(max_block_size=4_000_000),
-        seed=seed,
+        node=NodeConfig(max_block_size=4_000_000),
+        duration=duration,
         warmup=warmup,
+        seed=seed,
     )
+    result = run_scenario(spec).result
     return LatencyMetricComparison(
         protocol=protocol, load_bytes_per_second=load_bytes_per_second, result=result
     )

@@ -2,15 +2,23 @@
 
 Every figure-regenerating experiment is a thin wrapper around
 :func:`run_experiment`: build a simulated network, attach N nodes of the
-protocol under test, attach a workload generator per node, run for a fixed
-amount of virtual time, and summarise what the metrics collector saw.
+protocol under test (optionally replacing some with adversaries), attach a
+workload generator per node, run for a fixed amount of virtual time, and
+summarise what the metrics collector saw.
+
+Protocols and workloads are looked up in registries
+(:func:`register_protocol`, :func:`register_workload`), so new automata and
+load shapes plug into every experiment — and into the declarative scenario
+engine built on top (:mod:`repro.experiments.scenario`) — without touching
+this driver.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
+from repro.adversary.registry import AdversarySpec, get_adversary
 from repro.ba.coin import CommonCoin
 from repro.common.params import ProtocolParams
 from repro.core.config import NodeConfig
@@ -23,12 +31,16 @@ from repro.sim.events import Simulator
 from repro.sim.network import Network, NetworkConfig
 from repro.workload.txgen import (
     DEFAULT_TX_SIZE,
+    ModulatedPoissonTransactionGenerator,
     PoissonTransactionGenerator,
     SaturatingTransactionGenerator,
+    bursty_rate_profile,
+    diurnal_rate_profile,
 )
 
 #: The protocols the paper's evaluation compares (S6), keyed by the labels
-#: used throughout the experiments and benchmark output.
+#: used throughout the experiments and benchmark output.  Extend with
+#: :func:`register_protocol`.
 PROTOCOLS: dict[str, type[BFTNodeBase]] = {
     "dl": DispersedLedgerNode,
     "dl-coupled": DLCoupledNode,
@@ -37,23 +49,106 @@ PROTOCOLS: dict[str, type[BFTNodeBase]] = {
 }
 
 
+def register_protocol(name: str, node_class: type[BFTNodeBase]) -> None:
+    """Register a protocol automaton so experiments and scenarios can run it.
+
+    The class must accept the :class:`BFTNodeBase` constructor signature
+    (``node_id, params, ctx, config=, coin=, max_epochs=, on_deliver=,
+    on_propose=``).
+    """
+    existing = PROTOCOLS.get(name)
+    if existing is not None and existing is not node_class:
+        raise ValueError(f"protocol {name!r} is already registered as {existing.__name__}")
+    PROTOCOLS[name] = node_class
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """What load the clients offer to each node.
 
-    ``kind`` is either ``"saturating"`` (infinitely-backlogged throughput
-    runs, S6.2) or ``"poisson"`` (latency-vs-load runs, S6.2).  For Poisson
-    workloads ``rate_bytes_per_second`` is the *per-node* offered load.
+    ``kind`` names an entry of the workload registry.  Built in:
+
+    * ``"saturating"`` — infinitely-backlogged throughput runs (S6.2);
+    * ``"poisson"`` — constant-rate Poisson arrivals (latency-vs-load, S6.2);
+    * ``"bursty"`` — on/off Poisson bursts: load ``rate / duty`` for
+      ``duty * period`` seconds of every ``period``, zero otherwise;
+    * ``"diurnal"`` — sinusoidal day/night Poisson modulation with relative
+      swing ``amplitude`` over each ``period``.
+
+    For all Poisson-family workloads ``rate_bytes_per_second`` is the mean
+    *per-node* offered load.  ``period``, ``duty`` and ``amplitude`` only
+    apply to the modulated kinds.
     """
 
     kind: str = "saturating"
     rate_bytes_per_second: float = 1_000_000.0
     tx_size: int = DEFAULT_TX_SIZE
     target_pending_bytes: int = 8_000_000
+    period: float = 20.0
+    duty: float = 0.25
+    amplitude: float = 0.8
 
     def __post_init__(self) -> None:
-        if self.kind not in ("saturating", "poisson"):
-            raise ValueError(f"unknown workload kind {self.kind!r}")
+        if self.kind not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; registered: {sorted(WORKLOADS)}"
+            )
+
+
+#: ``factory(sim, node, spec, seed) -> generator`` — builds the per-node load
+#: generator; the generator only needs a ``start()`` method.
+WorkloadFactory = Callable[[Simulator, BFTNodeBase, WorkloadSpec, int], object]
+
+WORKLOADS: dict[str, WorkloadFactory] = {}
+
+
+def register_workload(kind: str, factory: WorkloadFactory) -> None:
+    """Register a workload generator under ``kind``."""
+    WORKLOADS[kind] = factory
+
+
+def _per_node_seed(seed: int, node: BFTNodeBase) -> int:
+    return seed * 1_000 + node.node_id
+
+
+def _saturating(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
+    return SaturatingTransactionGenerator(
+        sim, node, target_pending_bytes=spec.target_pending_bytes, tx_size=spec.tx_size
+    )
+
+
+def _poisson(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
+    return PoissonTransactionGenerator(
+        sim,
+        node,
+        rate_bytes_per_second=spec.rate_bytes_per_second,
+        tx_size=spec.tx_size,
+        seed=_per_node_seed(seed, node),
+    )
+
+
+def _bursty(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
+    profile = bursty_rate_profile(
+        spec.rate_bytes_per_second, period=spec.period, duty=spec.duty
+    )
+    return ModulatedPoissonTransactionGenerator(
+        sim, node, profile, tx_size=spec.tx_size, seed=_per_node_seed(seed, node)
+    )
+
+
+def _diurnal(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
+    profile = diurnal_rate_profile(
+        spec.rate_bytes_per_second, period=spec.period, amplitude=spec.amplitude
+    )
+    return ModulatedPoissonTransactionGenerator(
+        sim, node, profile, tx_size=spec.tx_size, seed=_per_node_seed(seed, node)
+    )
+
+
+register_workload("saturating", _saturating)
+register_workload("poisson", _poisson)
+register_workload("bursty", _bursty)
+register_workload("diurnal", _diurnal)
 
 
 @dataclass
@@ -148,11 +243,14 @@ def run_experiment(
     params: ProtocolParams | None = None,
     seed: int = 0,
     warmup: float = 0.0,
+    adversary: AdversarySpec | None = None,
 ) -> ExperimentResult:
     """Run one protocol on one simulated network and summarise the outcome.
 
     Args:
-        protocol: one of ``"dl"``, ``"dl-coupled"``, ``"hb"``, ``"hb-link"``.
+        protocol: a registered protocol name (``"dl"``, ``"dl-coupled"``,
+            ``"hb"``, ``"hb-link"``, or anything added via
+            :func:`register_protocol`).
         network_config: the simulated WAN (delays + bandwidth traces).
         duration: virtual seconds to simulate.
         workload: offered load (defaults to a saturating workload).
@@ -163,6 +261,11 @@ def run_experiment(
         seed: seed for the workload generators.
         warmup: virtual seconds excluded from the throughput denominator
             (ramp-up of the first epochs).
+        adversary: which nodes misbehave and how (defaults to none).  The
+            placed nodes are replaced on the wire by the registered faulty
+            process; their per-node metrics (zero throughput for silent
+            nodes) stay in the result so summaries remain index-aligned with
+            the cluster.
     """
     workload = workload or WorkloadSpec()
     node_config = node_config or NodeConfig()
@@ -179,23 +282,20 @@ def run_experiment(
     collector = MetricsCollector(params.n)
     nodes = build_nodes(protocol, params, network, node_config, collector)
 
+    silent: frozenset[int] = frozenset()
+    if adversary is not None and adversary.kind != "none":
+        factory = get_adversary(adversary.kind)
+        placement = adversary.placement(params.n)
+        for node_id in placement:
+            network.attach(node_id, factory(nodes[node_id], sim, adversary))
+        if adversary.silent_from_start:
+            silent = frozenset(placement)
+
     generators = []
     for node in nodes:
-        if workload.kind == "saturating":
-            generator: object = SaturatingTransactionGenerator(
-                sim,
-                node,
-                target_pending_bytes=workload.target_pending_bytes,
-                tx_size=workload.tx_size,
-            )
-        else:
-            generator = PoissonTransactionGenerator(
-                sim,
-                node,
-                rate_bytes_per_second=workload.rate_bytes_per_second,
-                tx_size=workload.tx_size,
-                seed=seed * 1_000 + node.node_id,
-            )
+        if node.node_id in silent:
+            continue  # no client feeds a node that is dead from the start
+        generator = WORKLOADS[workload.kind](sim, node, workload, seed)
         generators.append(generator)
         sim.schedule(0.0, generator.start)
 
@@ -230,6 +330,7 @@ def run_protocol_comparison(
     node_config: NodeConfig | None = None,
     seed: int = 0,
     warmup: float = 0.0,
+    adversary: AdversarySpec | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run several protocols on identical network conditions and workloads."""
     results = {}
@@ -242,5 +343,6 @@ def run_protocol_comparison(
             node_config=node_config,
             seed=seed,
             warmup=warmup,
+            adversary=adversary,
         )
     return results

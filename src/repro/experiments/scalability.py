@@ -22,8 +22,14 @@ from dataclasses import dataclass
 from repro.common.params import ProtocolParams
 from repro.core.config import NodeConfig
 from repro.experiments.cost_model import ThroughputEstimate, estimate_throughput
-from repro.experiments.runner import ExperimentResult, WorkloadSpec, run_experiment
-from repro.sim.bandwidth import ConstantBandwidth
+from repro.experiments.engine import run_scenario
+from repro.experiments.runner import ExperimentResult, WorkloadSpec
+from repro.experiments.scenario import (
+    BandwidthSpec,
+    ScenarioSpec,
+    TopologySpec,
+    build_network_config,
+)
 from repro.sim.network import NetworkConfig
 from repro.workload.traces import MB
 
@@ -74,15 +80,31 @@ def model_sweep(
     return points
 
 
+def scalability_spec(
+    n: int,
+    block_size: int,
+    duration: float = 30.0,
+    bandwidth: float = SCALABILITY_BANDWIDTH,
+    protocol: str = "dl",
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The declarative scenario for one (N, block size) scalability point."""
+    return ScenarioSpec(
+        name="scalability",
+        protocol=protocol,
+        topology=TopologySpec(kind="uniform", num_nodes=n, delay=SCALABILITY_DELAY),
+        bandwidth=BandwidthSpec(kind="constant", rate=bandwidth, egress_headroom=1.0),
+        workload=WorkloadSpec(kind="saturating"),
+        node=NodeConfig(max_block_size=block_size, nagle_size=block_size),
+        duration=duration,
+        warmup_fraction=0.25,
+        seed=seed,
+    )
+
+
 def fixed_block_network(n: int, bandwidth: float = SCALABILITY_BANDWIDTH) -> NetworkConfig:
     """The controlled network of the scalability experiments."""
-    traces = [ConstantBandwidth(bandwidth) for _ in range(n)]
-    return NetworkConfig(
-        num_nodes=n,
-        propagation_delay=SCALABILITY_DELAY,
-        egress_traces=list(traces),
-        ingress_traces=list(traces),
-    )
+    return build_network_config(scalability_spec(n, 500_000, bandwidth=bandwidth))
 
 
 def simulate_point(
@@ -99,16 +121,10 @@ def simulate_point(
     offering a saturating workload, mirroring how the paper fixes block sizes
     for this experiment.
     """
-    result: ExperimentResult = run_experiment(
-        protocol,
-        fixed_block_network(n, bandwidth),
-        duration,
-        workload=WorkloadSpec(kind="saturating"),
-        node_config=NodeConfig(max_block_size=block_size, nagle_size=block_size),
-        params=ProtocolParams.for_n(n),
-        seed=seed,
-        warmup=duration * 0.25,
+    spec = scalability_spec(
+        n, block_size, duration=duration, bandwidth=bandwidth, protocol=protocol, seed=seed
     )
+    result: ExperimentResult = run_scenario(spec).result
     mean_fraction = sum(result.dispersal_fractions) / len(result.dispersal_fractions)
     return ScalabilityPoint(
         n=n,

@@ -23,6 +23,6 @@ __all__ = [
     "VirtualPayload",
     "avid_fp_per_node_cost",
     "avid_m_per_node_cost",
-    "disperse_many",
     "dispersal_lower_bound",
+    "disperse_many",
 ]

@@ -15,27 +15,48 @@ This package replaces the paper's load generators and Mahimahi traces
 
 from repro.workload.cities import (
     AWS_CITIES,
+    TESTBEDS,
     VULTR_CITIES,
     CityProfile,
     city_network_config,
+    register_testbed,
+    resolve_testbed,
 )
 from repro.workload.traces import (
     GaussMarkovProcess,
     constant_traces,
+    flapping_trace,
+    flapping_traces,
     gauss_markov_traces,
     spatial_variation_rates,
+    straggler_rates,
 )
-from repro.workload.txgen import PoissonTransactionGenerator, SaturatingTransactionGenerator
+from repro.workload.txgen import (
+    ModulatedPoissonTransactionGenerator,
+    PoissonTransactionGenerator,
+    SaturatingTransactionGenerator,
+    bursty_rate_profile,
+    diurnal_rate_profile,
+)
 
 __all__ = [
     "AWS_CITIES",
     "CityProfile",
     "GaussMarkovProcess",
+    "ModulatedPoissonTransactionGenerator",
     "PoissonTransactionGenerator",
     "SaturatingTransactionGenerator",
+    "TESTBEDS",
     "VULTR_CITIES",
+    "bursty_rate_profile",
     "city_network_config",
     "constant_traces",
+    "diurnal_rate_profile",
+    "flapping_trace",
+    "flapping_traces",
     "gauss_markov_traces",
+    "register_testbed",
+    "resolve_testbed",
     "spatial_variation_rates",
+    "straggler_rates",
 ]

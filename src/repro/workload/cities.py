@@ -21,6 +21,7 @@ cities) are produced by the same mechanisms.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth
@@ -91,6 +92,62 @@ VULTR_CITIES: tuple[CityProfile, ...] = (
     CityProfile("Tokyo", 8 * MB, 0.40, 0.070),
     CityProfile("Sydney", 6 * MB, 0.45, 0.090),
 )
+
+
+#: Registry of named testbeds, used by the scenario engine so a declarative
+#: spec can say ``topology: {kind: cities, testbed: aws}``.  Extend with
+#: :func:`register_testbed`.
+TESTBEDS: dict[str, tuple[CityProfile, ...]] = {}
+
+
+def register_testbed(name: str, cities: tuple[CityProfile, ...]) -> str:
+    """Register a named city testbed for scenario specs; returns ``name``.
+
+    Re-registering the same name with a different profile tuple is an error
+    (a spec naming the testbed would silently change meaning); registering
+    the identical tuple is a no-op so callers may register idempotently.
+    """
+    if not cities:
+        raise ValueError("a testbed needs at least one city")
+    existing = TESTBEDS.get(name)
+    if existing is not None and existing != tuple(cities):
+        raise ValueError(f"testbed {name!r} is already registered with a different profile")
+    TESTBEDS[name] = tuple(cities)
+    return name
+
+
+def resolve_testbed(name: str) -> tuple[CityProfile, ...]:
+    """Look up a registered testbed by name."""
+    try:
+        return TESTBEDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown testbed {name!r}; registered: {sorted(TESTBEDS)}"
+        ) from None
+
+
+def testbed_name(cities: tuple[CityProfile, ...]) -> str:
+    """The registered name for ``cities``, registering an ad-hoc one if needed.
+
+    Lets APIs that accept raw city tuples (``run_geo_throughput``) express
+    their runs as declarative scenario specs.  The ad-hoc name is derived
+    from a content hash, so the same city tuple maps to the same name in
+    every process and run — but the *registration* only exists where this
+    function ran; a spec naming an ad-hoc testbed loaded elsewhere (a later
+    run, a spawn-start worker) must re-register the tuple first.  For
+    scenarios meant to live in files, register the testbed under a stable
+    name at import time instead.
+    """
+    key = tuple(cities)
+    for name, registered in TESTBEDS.items():
+        if registered == key:
+            return name
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:8]
+    return register_testbed(f"adhoc-{len(key)}x-{digest}", key)
+
+
+register_testbed("aws", AWS_CITIES)
+register_testbed("vultr", VULTR_CITIES)
 
 
 def city_delay_matrix(cities: tuple[CityProfile, ...]) -> list[list[float]]:

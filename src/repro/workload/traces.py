@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 
-from repro.sim.bandwidth import ConstantBandwidth, PiecewiseConstantBandwidth
+from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth, PiecewiseConstantBandwidth
 
 MB = 1_000_000
 
@@ -96,6 +96,112 @@ def spatial_variation_rates(
     if num_nodes < 1:
         raise ValueError("need at least one node")
     return [base + step * i for i in range(num_nodes)]
+
+
+def straggler_rates(
+    num_nodes: int,
+    num_stragglers: int,
+    fast: float = 10 * MB,
+    slow: float = 1 * MB,
+) -> list[float]:
+    """Per-node constant rates for a heterogeneous cluster with stragglers.
+
+    The first ``num_nodes - num_stragglers`` nodes run at ``fast`` bytes per
+    second and the last ``num_stragglers`` nodes at ``slow``.  This is the
+    heavy-tailed counterpart of :func:`spatial_variation_rates`: instead of a
+    gentle linear ramp, a few nodes are an order of magnitude behind, the
+    regime where lockstep protocols collapse to the stragglers' rate.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    if not 0 <= num_stragglers <= num_nodes:
+        raise ValueError("num_stragglers must be between 0 and num_nodes")
+    if slow <= 0 or fast <= 0:
+        raise ValueError("rates must be positive")
+    return [fast] * (num_nodes - num_stragglers) + [slow] * num_stragglers
+
+
+def flapping_trace(
+    duration: float,
+    healthy: float,
+    degraded: float,
+    period: float = 12.0,
+    degraded_for: float = 4.0,
+    phase: float = 0.0,
+) -> PiecewiseConstantBandwidth:
+    """A link that flaps between a healthy and a heavily degraded rate.
+
+    Each ``period`` seconds the link spends ``degraded_for`` seconds at
+    ``degraded`` bytes/s and the rest at ``healthy``.  ``phase`` shifts the
+    cycle so a population of flapping links can be staggered such that at any
+    moment some link is degraded (the "bandwidth churn" regime of Fig. 1:
+    more than ``f`` nodes have been slow *recently*, so no lockstep protocol
+    can simply leave the slow set behind).
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if healthy <= 0 or degraded <= 0:
+        raise ValueError("rates must be positive")
+    if not 0 < degraded_for < period:
+        raise ValueError("need 0 < degraded_for < period")
+    breakpoints: list[tuple[float, float]] = []
+
+    def rate_at(t: float) -> float:
+        return degraded if (t - phase) % period < degraded_for else healthy
+
+    # Emit exact cycle boundaries instead of sampling: the trace is piecewise
+    # constant with breakpoints at phase + k*period and phase + k*period +
+    # degraded_for for every cycle k overlapping [0, duration].
+    boundaries = {0.0}
+    k_start = int((0.0 - phase) // period) - 1
+    t = phase + k_start * period
+    while t < duration + period:
+        for edge in (t, t + degraded_for):
+            if 0.0 < edge < duration + period:
+                boundaries.add(edge)
+        t += period
+    previous_rate: float | None = None
+    for edge in sorted(boundaries):
+        rate = rate_at(edge)
+        if rate != previous_rate:
+            breakpoints.append((edge, rate))
+            previous_rate = rate
+    return PiecewiseConstantBandwidth(breakpoints)
+
+
+def flapping_traces(
+    num_nodes: int,
+    num_flaky: int,
+    duration: float,
+    healthy: float = 4 * MB,
+    degraded: float = 0.3 * MB,
+    period: float = 12.0,
+    degraded_for: float = 4.0,
+) -> list[BandwidthTrace]:
+    """Traces for a cluster where the last ``num_flaky`` nodes take turns flapping.
+
+    The flaky nodes' degraded windows are staggered evenly across the period
+    so the set of currently-degraded nodes rotates — the scenario the paper
+    opens with (Fig. 1), generalised to any cluster size.
+    """
+    if not 0 <= num_flaky <= num_nodes:
+        raise ValueError("num_flaky must be between 0 and num_nodes")
+    steady: list[BandwidthTrace] = [
+        ConstantBandwidth(healthy) for _ in range(num_nodes - num_flaky)
+    ]
+    stagger = period / num_flaky if num_flaky else 0.0
+    flaky: list[BandwidthTrace] = [
+        flapping_trace(
+            duration,
+            healthy,
+            degraded,
+            period=period,
+            degraded_for=degraded_for,
+            phase=index * stagger,
+        )
+        for index in range(num_flaky)
+    ]
+    return steady + flaky
 
 
 def gauss_markov_traces(

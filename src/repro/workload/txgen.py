@@ -9,7 +9,9 @@ topped up so block formation is never starved.
 
 from __future__ import annotations
 
+import math
 import random
+from typing import Callable
 
 from repro.core.block import Transaction
 from repro.core.node_base import BFTNodeBase
@@ -61,6 +63,126 @@ class PoissonTransactionGenerator:
 
     def _schedule_next(self) -> None:
         delay = self._rng.expovariate(1.0 / self._mean_interarrival)
+        self._sim.schedule(delay, self._arrive)
+
+    def _arrive(self) -> None:
+        now = self._sim.now
+        if self._stop_at is not None and now >= self._stop_at:
+            return
+        self._sequence += 1
+        tx = Transaction(
+            tx_id=self._sequence * self._node.params.n + self._node.node_id,
+            origin=self._node.node_id,
+            created_at=now,
+            size=self._tx_size,
+        )
+        self._node.submit_transaction(tx)
+        self.generated += 1
+        self.generated_bytes += self._tx_size
+        self._schedule_next()
+
+
+def bursty_rate_profile(
+    mean_rate: float, period: float = 20.0, duty: float = 0.25
+) -> Callable[[float], float]:
+    """An on/off load profile with mean ``mean_rate`` bytes per second.
+
+    The client population is quiet most of the time and then bursts: for
+    ``duty * period`` seconds out of every ``period`` the offered load is
+    ``mean_rate / duty`` and zero otherwise, so the long-run average equals
+    ``mean_rate``.  This is the classic packet-train / flash-crowd shape that
+    a constant-rate Poisson sweep never exercises.
+    """
+    if mean_rate <= 0:
+        raise ValueError("mean_rate must be positive")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if not 0 < duty <= 1:
+        raise ValueError("duty must be in (0, 1]")
+    on_rate = mean_rate / duty
+    on_for = duty * period
+
+    def rate_at(t: float) -> float:
+        return on_rate if t % period < on_for else 0.0
+
+    return rate_at
+
+
+def diurnal_rate_profile(
+    mean_rate: float, period: float = 60.0, amplitude: float = 0.8
+) -> Callable[[float], float]:
+    """A sinusoidal day/night load profile with mean ``mean_rate`` bytes/s.
+
+    The offered load swings between ``mean * (1 - amplitude)`` and
+    ``mean * (1 + amplitude)`` over each ``period`` (one simulated "day"),
+    starting at the trough so short runs see the ramp-up.
+    """
+    if mean_rate <= 0:
+        raise ValueError("mean_rate must be positive")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if not 0 <= amplitude < 1:
+        raise ValueError("amplitude must be in [0, 1)")
+
+    def rate_at(t: float) -> float:
+        return mean_rate * (1.0 - amplitude * math.cos(2.0 * math.pi * t / period))
+
+    return rate_at
+
+
+class ModulatedPoissonTransactionGenerator:
+    """A Poisson arrival process whose rate follows a time-varying profile.
+
+    ``rate_at`` gives the instantaneous offered load in bytes per second.
+    The exponential clock is sampled against the rate at the current virtual
+    time, but never further than ``max_step`` seconds ahead: a draw that
+    lands beyond the horizon is discarded and re-drawn there, which by
+    memorylessness simulates the non-homogeneous process exactly wherever
+    the rate is constant across a step, and bounds the error from a rate
+    breakpoint (including on/off edges of the bursty profile) to one
+    ``max_step`` window.  Zero-rate stretches advance on the same horizon.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: BFTNodeBase,
+        rate_at: Callable[[float], float],
+        tx_size: int = DEFAULT_TX_SIZE,
+        seed: int | None = None,
+        stop_at: float | None = None,
+        max_step: float = 0.25,
+    ):
+        if tx_size <= 0:
+            raise ValueError("transaction size must be positive")
+        if max_step <= 0:
+            raise ValueError("max_step must be positive")
+        self._sim = sim
+        self._node = node
+        self._rate_at = rate_at
+        self._tx_size = tx_size
+        self._rng = random.Random(seed)
+        self._stop_at = stop_at
+        self._max_step = max_step
+        self._sequence = 0
+        self.generated = 0
+        self.generated_bytes = 0
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        rate = self._rate_at(self._sim.now)
+        if rate <= 0:
+            self._sim.schedule(self._max_step, self._schedule_next)
+            return
+        delay = self._rng.expovariate(rate / self._tx_size)
+        if delay > self._max_step:
+            # Past the sampling horizon: re-draw there at the then-current
+            # rate (memorylessness makes the discard statistically free).
+            self._sim.schedule(self._max_step, self._schedule_next)
+            return
         self._sim.schedule(delay, self._arrive)
 
     def _arrive(self) -> None:

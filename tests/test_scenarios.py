@@ -1,0 +1,372 @@
+"""Scenario engine: spec round-trips, grids, registries, sweeps and the CLI."""
+
+import json
+
+import pytest
+
+from repro.adversary.registry import AdversarySpec
+from repro.common.errors import ConfigurationError
+from repro.core.config import NodeConfig
+from repro.experiments.catalog import SCENARIOS, get_scenario, list_scenarios
+from repro.experiments.cli import main as cli_main
+from repro.experiments.engine import run_scenario, sweep
+from repro.experiments.runner import WorkloadSpec, run_experiment
+from repro.experiments.scenario import (
+    BandwidthSpec,
+    ScenarioSpec,
+    TopologySpec,
+    apply_override,
+    build_network_config,
+    expand_grid,
+)
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.network import NetworkConfig
+from repro.workload.traces import MB
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="tiny",
+        topology=TopologySpec(kind="uniform", num_nodes=4, delay=0.05),
+        bandwidth=BandwidthSpec(kind="constant", rate=2 * MB),
+        workload=WorkloadSpec(kind="saturating", target_pending_bytes=500_000),
+        node=NodeConfig(max_block_size=100_000),
+        duration=8.0,
+        warmup_fraction=0.0,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestSpecRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        spec = tiny_spec(
+            adversary=AdversarySpec(kind="crash", count=1),
+            workload=WorkloadSpec(kind="bursty", rate_bytes_per_second=2e6, duty=0.5),
+            warmup=1.5,
+            f=1,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_lossless(self):
+        spec = tiny_spec(topology=TopologySpec(kind="cities", testbed="vultr"))
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_partial_dict_uses_defaults(self):
+        spec = ScenarioSpec.from_dict(
+            {"name": "partial", "topology": {"num_nodes": 7}, "duration": 5.0}
+        )
+        assert spec.num_nodes == 7
+        assert spec.protocol == "dl"
+        assert spec.workload == WorkloadSpec()
+
+    def test_unknown_keys_fail_loudly(self):
+        with pytest.raises(TypeError):
+            ScenarioSpec.from_dict({"protocl": "dl"})
+        with pytest.raises(TypeError):
+            ScenarioSpec.from_dict({"workload": {"kidn": "poisson"}})
+
+    def test_every_catalog_entry_round_trips(self):
+        for entry in list_scenarios():
+            restored = ScenarioSpec.from_json(entry.base.to_json())
+            assert restored == entry.base, entry.name
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(protocol="pbft")
+        with pytest.raises(ConfigurationError):
+            tiny_spec(duration=0.0)
+        with pytest.raises(ConfigurationError):
+            tiny_spec(warmup=9.0)  # >= duration
+        with pytest.raises(ConfigurationError):
+            tiny_spec(bandwidth=BandwidthSpec(kind="wormhole"))
+        with pytest.raises(ConfigurationError):
+            tiny_spec(topology=TopologySpec(kind="mesh"))
+        with pytest.raises(ConfigurationError):
+            AdversarySpec(kind="gremlin")
+
+
+class TestGridExpansion:
+    def test_point_count_is_product_of_axes(self):
+        base = tiny_spec()
+        grid = {
+            "protocol": ("dl", "hb"),
+            "seed": (0, 1, 2),
+            "workload.target_pending_bytes": (100_000, 200_000),
+        }
+        points = expand_grid(base, grid)
+        assert len(points) == 2 * 3 * 2
+
+    def test_expansion_applies_nested_overrides(self):
+        base = tiny_spec()
+        points = expand_grid(base, {"workload.tx_size": (100, 200)})
+        assert [spec.workload.tx_size for _, spec in points] == [100, 200]
+        # the base spec is untouched (specs are frozen, replace-based)
+        assert base.workload.tx_size != 100 or base.workload.tx_size != 200
+
+    def test_dict_valued_axes_move_fields_in_lockstep(self):
+        base = tiny_spec()
+        points = expand_grid(
+            base,
+            {
+                "block": (
+                    {"node.max_block_size": 1_000, "node.nagle_size": 1_000},
+                    {"node.max_block_size": 2_000, "node.nagle_size": 2_000},
+                )
+            },
+        )
+        assert [(s.node.max_block_size, s.node.nagle_size) for _, s in points] == [
+            (1_000, 1_000),
+            (2_000, 2_000),
+        ]
+
+    def test_empty_grid_yields_base(self):
+        base = tiny_spec()
+        assert expand_grid(base, None) == [({}, base)]
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_override(tiny_spec(), "workload.flux_capacitor", 88)
+        with pytest.raises(ConfigurationError):
+            apply_override(tiny_spec(), "paradox", 1)
+
+
+class TestNetworkBuilding:
+    def test_constant_model(self):
+        config = build_network_config(tiny_spec())
+        assert isinstance(config, NetworkConfig)
+        assert config.num_nodes == 4
+        assert config.ingress_trace(0).rate_at(0.0) == 2 * MB
+
+    def test_straggler_model_caps_last_nodes(self):
+        spec = tiny_spec(
+            topology=TopologySpec(kind="uniform", num_nodes=6, delay=0.05),
+            bandwidth=BandwidthSpec(
+                kind="straggler", rate=8 * MB, degraded_rate=1 * MB, count=2
+            ),
+        )
+        config = build_network_config(spec)
+        rates = [config.ingress_trace(i).rate_at(0.0) for i in range(6)]
+        assert rates == [8 * MB] * 4 + [1 * MB] * 2
+
+    def test_flapping_model_rotates_degradation(self):
+        spec = tiny_spec(
+            topology=TopologySpec(kind="uniform", num_nodes=4, delay=0.05),
+            bandwidth=BandwidthSpec(
+                kind="flapping",
+                rate=4 * MB,
+                degraded_rate=0.5 * MB,
+                count=2,
+                period=10.0,
+                degraded_for=4.0,
+            ),
+            duration=20.0,
+        )
+        config = build_network_config(spec)
+        flaky = [config.ingress_trace(i) for i in (2, 3)]
+        # staggered: the two flaky nodes are not degraded at the same moments
+        degraded_windows = [
+            {t for t in range(20) if trace.rate_at(t + 0.01) == 0.5 * MB} for trace in flaky
+        ]
+        assert degraded_windows[0] and degraded_windows[1]
+        assert degraded_windows[0] != degraded_windows[1]
+        # steady nodes never flap
+        assert all(config.ingress_trace(0).rate_at(t) == 4 * MB for t in range(20))
+
+    def test_cities_topology_uses_testbed(self):
+        spec = tiny_spec(topology=TopologySpec(kind="cities", testbed="vultr"))
+        config = build_network_config(spec)
+        assert config.num_nodes == 15
+
+    def test_gauss_markov_is_seed_deterministic(self):
+        spec = tiny_spec(
+            bandwidth=BandwidthSpec(kind="gauss-markov", rate=5 * MB, sigma=1 * MB),
+            duration=10.0,
+            seed=7,
+        )
+        a, b = build_network_config(spec), build_network_config(spec)
+        times = [0.5 * k for k in range(20)]
+        assert [a.ingress_trace(1).rate_at(t) for t in times] == [
+            b.ingress_trace(1).rate_at(t) for t in times
+        ]
+
+
+class TestRunScenario:
+    def test_sim_scenario_produces_result(self):
+        outcome = run_scenario(tiny_spec(duration=10.0))
+        assert outcome.result is not None
+        summary = outcome.summary()
+        assert summary["protocol"] == "dl"
+        assert summary["num_nodes"] == 4
+        assert summary["mean_throughput"] > 0
+        assert summary["delivered_epochs"] >= 1
+        assert outcome.wall_clock_seconds > 0
+
+    def test_crash_adversary_zeroes_crashed_node(self):
+        outcome = run_scenario(
+            tiny_spec(duration=10.0, adversary=AdversarySpec(kind="crash", count=1))
+        )
+        result = outcome.result
+        assert result.throughputs[-1] == 0.0  # the crashed node confirmed nothing
+        assert max(result.throughputs[:-1]) > 0  # the honest nodes kept going
+        assert outcome.summary()["delivered_epochs"] >= 1  # judged at honest nodes
+
+    def test_crash_after_adversary_starts_honest(self):
+        outcome = run_scenario(
+            tiny_spec(
+                duration=12.0,
+                adversary=AdversarySpec(kind="crash-after", count=1, crash_time=6.0),
+            )
+        )
+        assert outcome.result.delivered_epochs[-1] >= 1  # participated before the crash
+
+    def test_vid_cost_scenario(self):
+        from repro.experiments.fig02 import measure_avid_m_dispersal_cost, vid_cost_curve
+
+        spec = ScenarioSpec(
+            name="vid",
+            kind="vid-cost",
+            topology=TopologySpec(kind="uniform", num_nodes=8),
+            block_size=100_000,
+        )
+        summary = run_scenario(spec).summary()
+        row = next(r for r in vid_cost_curve((8,), (100_000,)) if r.n == 8)
+        assert summary["avid_m"] == row.avid_m
+        assert summary["avid_fp"] == row.avid_fp
+        assert summary["lower_bound"] == row.lower_bound
+        assert summary["measured_avid_m"] == measure_avid_m_dispersal_cost(8, 100_000)
+
+    def test_matches_pre_engine_driver(self):
+        """A spec-built run equals the same conditions wired by hand."""
+        spec = tiny_spec(duration=10.0, seed=3)
+        via_engine = run_scenario(spec).result
+        rate = 2 * MB
+        by_hand = run_experiment(
+            "dl",
+            NetworkConfig(
+                num_nodes=4,
+                propagation_delay=0.05,
+                egress_traces=[ConstantBandwidth(rate)] * 4,
+                ingress_traces=[ConstantBandwidth(rate)] * 4,
+            ),
+            10.0,
+            workload=WorkloadSpec(kind="saturating", target_pending_bytes=500_000),
+            node_config=NodeConfig(max_block_size=100_000),
+            seed=3,
+        )
+        assert via_engine.throughputs == by_hand.throughputs
+        assert via_engine.delivered_epochs == by_hand.delivered_epochs
+        assert via_engine.events_processed == by_hand.events_processed
+
+
+class TestSweep:
+    def test_parallel_and_serial_summaries_identical(self):
+        base = tiny_spec(duration=6.0)
+        grid = {"protocol": ("dl", "hb"), "seed": (0, 1)}
+        serial = sweep(base, grid, parallel=False)
+        parallel = sweep(base, grid, parallel=True, max_workers=2)
+        assert len(serial.points) == 4
+        assert parallel.workers == 2
+        assert serial.summaries() == parallel.summaries()
+
+    def test_sweep_orders_points_deterministically(self):
+        base = tiny_spec(duration=6.0)
+        result = sweep(base, {"seed": (2, 0, 1)}, parallel=False)
+        assert [point.spec.seed for point in result.points] == [2, 0, 1]
+        assert result.events_processed == sum(
+            point.result.events_processed for point in result.points
+        )
+
+    def test_table_renders_every_point(self):
+        base = tiny_spec(duration=6.0)
+        result = sweep(base, {"seed": (0, 1)}, parallel=False)
+        table = result.table(columns=("label", "mean_throughput"))
+        assert table.count("\n") == 3  # header + rule + 2 rows
+
+
+class TestCatalog:
+    def test_figures_and_new_scenarios_present(self):
+        names = set(SCENARIOS)
+        assert {"fig02-vid-cost", "fig08-geo", "fig10-latency", "fig11a-spatial",
+                "fig11b-temporal", "fig12-scalability", "fig15-vultr"} <= names
+        beyond_paper = {e.name for e in list_scenarios() if e.figure is None}
+        assert len(beyond_paper) >= 4
+
+    def test_fig08_point_matches_geo_driver(self):
+        """`run fig08-geo` reproduces the dedicated Fig. 8 driver bit-for-bit."""
+        from dataclasses import replace
+
+        from repro.experiments.geo import run_geo_throughput
+
+        spec = replace(get_scenario("fig08-geo").base, protocol="dl", duration=8.0, seed=2)
+        via_engine = run_scenario(spec).result
+        via_driver = run_geo_throughput(protocols=("dl",), duration=8.0, seed=2).results["dl"]
+        assert via_engine.throughputs == via_driver.throughputs
+        assert via_engine.delivered_epochs == via_driver.delivered_epochs
+        assert via_engine.events_processed == via_driver.events_processed
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            get_scenario("fig99")
+
+    def test_catalog_grids_expand(self):
+        for entry in list_scenarios():
+            points = expand_grid(entry.base, entry.grid)
+            assert len(points) == entry.num_points(), entry.name
+
+
+class TestCli:
+    def test_list_runs(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08-geo" in out and "bandwidth-flapping" in out
+
+    def test_show_emits_loadable_spec(self, capsys):
+        assert cli_main(["show", "straggler-hetero"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        restored = ScenarioSpec.from_dict(payload["base"])
+        assert restored.bandwidth.kind == "straggler"
+
+    def test_run_fig02_json(self, capsys):
+        assert (
+            cli_main(
+                [
+                    "run",
+                    "fig02-vid-cost",
+                    "--serial",
+                    "--json",
+                    "--grid",
+                    "topology.num_nodes=8",
+                    "--grid",
+                    "block_size=100000",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["summaries"]) == 1
+        assert payload["summaries"][0]["measured_avid_m"] > 0
+
+    def test_run_with_overrides(self, capsys):
+        assert (
+            cli_main(
+                [
+                    "run",
+                    "adversary-crash-mix",
+                    "--serial",
+                    "--duration",
+                    "6",
+                    "--json",
+                    "--set",
+                    "warmup_fraction=0.0",
+                    "--grid",
+                    "protocol=dl",
+                    "--grid",
+                    'faults=[{"adversary.kind": "crash", "adversary.count": 1}]',
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["summaries"]) == 1
+        assert payload["summaries"][0]["protocol"] == "dl"
