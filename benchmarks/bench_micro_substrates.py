@@ -9,7 +9,6 @@ reproduction's CPU time goes and guard against performance regressions.
 
 import pytest
 
-from repro.common.ids import VIDInstanceId
 from repro.common.params import ProtocolParams
 from repro.crypto.merkle import MerkleTree, verify_proof
 from repro.erasure.rs_code import ReedSolomonCode

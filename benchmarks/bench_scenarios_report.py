@@ -16,9 +16,11 @@ worker and the speedup hovers around 1.0; the ``cpus`` field records that.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.config import NodeConfig
@@ -42,13 +44,13 @@ BASE = ScenarioSpec(
 GRID = {"seed": (0, 1, 2, 3)}
 
 
-def run_report() -> dict:
+def run_report(base: ScenarioSpec = BASE, grid: dict = GRID) -> dict:
     serial_started = time.perf_counter()
-    serial = sweep(BASE, GRID, parallel=False)
+    serial = sweep(base, grid, parallel=False)
     serial_seconds = time.perf_counter() - serial_started
 
     parallel_started = time.perf_counter()
-    parallel = sweep(BASE, GRID, parallel=True)
+    parallel = sweep(base, grid, parallel=True)
     parallel_seconds = time.perf_counter() - parallel_started
 
     if serial.summaries() != parallel.summaries():
@@ -57,10 +59,10 @@ def run_report() -> dict:
     events = serial.events_processed
     return {
         "workload": {
-            "scenario": BASE.name,
+            "scenario": base.name,
             "points": len(serial.points),
-            "num_nodes": BASE.topology.num_nodes,
-            "duration": BASE.duration,
+            "num_nodes": base.topology.num_nodes,
+            "duration": base.duration,
         },
         "cpus": os.cpu_count() or 1,
         "workers": parallel.workers,
@@ -73,14 +75,24 @@ def run_report() -> dict:
     }
 
 
-def main() -> None:
-    entry = run_report()
-    history: list[dict] = []
-    if OUTPUT_PATH.exists():
-        history = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
-    history.append(entry)
-    OUTPUT_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
-    print(f"appended entry #{len(history)} to {OUTPUT_PATH}")
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="Scenario-engine throughput report")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sweep for CI (shorter duration, 2 points); no JSON append",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        entry = run_report(replace(BASE, duration=3.0), {"seed": (0, 1)})
+    else:
+        entry = run_report()
+        history: list[dict] = []
+        if OUTPUT_PATH.exists():
+            history = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
+        history.append(entry)
+        OUTPUT_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+        print(f"appended entry #{len(history)} to {OUTPUT_PATH}")
     print(
         f"{entry['workload']['points']}-point sweep: "
         f"serial {entry['serial_seconds']:.2f}s "

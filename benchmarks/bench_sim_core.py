@@ -1,0 +1,407 @@
+"""Sim-core throughput report: event loop, pipes, and full-scenario events/s.
+
+Times the discrete-event hot paths with plain ``time.perf_counter`` loops and
+appends to ``benchmarks/BENCH_sim_core.json`` so the sim-core perf trajectory
+is tracked across PRs alongside the coding substrate
+(``BENCH_substrates.json``) and the scenario engine
+(``BENCH_scenarios.json``).  Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_sim_core.py
+    PYTHONPATH=src python benchmarks/bench_sim_core.py --smoke   # CI quick pass
+
+Three workloads, mirroring where scenario time actually goes:
+
+* ``pure_timer`` — self-rescheduling timer chains; isolates the scheduler
+  (heap churn, event allocation).
+* ``pipe_saturation`` — a 4-node constant-bandwidth WAN flooded with queued
+  messages; isolates the pipe serve/complete path plus the network's
+  per-message bookkeeping.
+* ``full_scenario`` — one saturating-workload DispersedLedger run (the
+  ``bench-sweep`` point of ``bench_scenarios_report.py``); the end-to-end
+  number.
+
+To make speedups robust against machine-to-machine variation, the script
+embeds a faithful copy of the *seed* sim core (PR 0-2: ``(when, seq,
+closure)`` heap tuples, per-message ``complete()`` closures, synchronous
+``Pipe.submit``) and measures it in the same process, interleaved sample by
+sample with the current implementation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import itertools
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.core.config import NodeConfig
+from repro.experiments.runner import WorkloadSpec, run_experiment
+from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth
+from repro.sim.events import Simulator
+from repro.sim.messages import Message, Priority
+from repro.sim.network import LOOPBACK_DELAY, Network, NetworkConfig, TrafficStats
+
+OUTPUT_PATH = Path(__file__).parent / "BENCH_sim_core.json"
+
+MB = 1_000_000.0
+
+#: Workload sizes: full mode is sized for a stable single-core measurement,
+#: smoke mode for a sub-minute CI regression check.
+SIZES = {
+    "full": {"timer_events": 300_000, "pipe_messages": 40_000, "scenario_duration": 10.0},
+    "smoke": {"timer_events": 30_000, "pipe_messages": 4_000, "scenario_duration": 2.0},
+}
+
+
+# --------------------------------------------------------------------------
+# Seed (PR 0-2) reference implementations, reproduced verbatim in behaviour:
+# the simulator stored (when, seq, closure) tuples with no cancellation, and
+# the pipe allocated a fresh ``complete()`` closure per transfer, re-sorted
+# the priority map on every serve, and started serving synchronously inside
+# the submitting caller's frame.
+# --------------------------------------------------------------------------
+
+
+class _SeedSimulator:
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processed_events = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed_events
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._queue, (when, next(self._sequence), callback))
+
+    def run(self, until: float | None = None) -> float:
+        while self._queue:
+            when, _seq, callback = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            self._processed_events += 1
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+
+class _SeedPipe:
+    def __init__(self, sim: _SeedSimulator, trace: BandwidthTrace):
+        self._sim = sim
+        self._trace = trace
+        self._queues: dict[Priority, list] = {priority: [] for priority in Priority}
+        self._sequence = itertools.count()
+        self._busy = False
+        self.bytes_transferred = 0
+        self.bytes_aborted = 0
+        self.busy_time = 0.0
+
+    def submit(self, size, priority, on_done, rank=0.0, abort=None) -> None:
+        entry = (rank, next(self._sequence), size, on_done, abort)
+        heapq.heappush(self._queues[priority], entry)
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        for priority in sorted(self._queues):
+            queue = self._queues[priority]
+            while queue:
+                _rank, _seq, size, on_done, abort = heapq.heappop(queue)
+                if abort is not None and abort():
+                    self.bytes_aborted += size
+                    continue
+                self._start_transfer(size, on_done)
+                return
+        self._busy = False
+
+    def _start_transfer(self, size, on_done) -> None:
+        self._busy = True
+        start = self._sim.now
+        finish = self._trace.finish_time(start, size)
+
+        def complete() -> None:
+            self.bytes_transferred += size
+            self.busy_time += finish - start
+            on_done()
+            self._serve_next()
+
+        self._sim.schedule_at(finish, complete)
+
+
+class _SeedNetwork:
+    def __init__(self, sim: _SeedSimulator, config: NetworkConfig):
+        self._sim = sim
+        self._config = config
+        self._handlers = [None] * config.num_nodes
+        self._egress = [_SeedPipe(sim, config.egress_trace(i)) for i in range(config.num_nodes)]
+        self._ingress = [_SeedPipe(sim, config.ingress_trace(i)) for i in range(config.num_nodes)]
+        self.stats = [TrafficStats() for _ in range(config.num_nodes)]
+        self.messages_delivered = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return self._config.num_nodes
+
+    def attach(self, node_id, handler) -> None:
+        self._handlers[node_id] = handler
+
+    def send(self, src, dst, msg, rank=0.0, abort=None) -> None:
+        if src == dst:
+            self.stats[src].sent[msg.priority] += msg.wire_size
+            self._sim.schedule(LOOPBACK_DELAY, lambda: self._deliver(src, dst, msg))
+            return
+
+        def after_egress() -> None:
+            self.stats[src].sent[msg.priority] += msg.wire_size
+            delay = self._config.delay(src, dst)
+            self._sim.schedule(delay, lambda: self._enter_ingress(src, dst, msg, rank, abort))
+
+        self._egress[src].submit(msg.wire_size, msg.priority, after_egress, rank, abort)
+
+    def _enter_ingress(self, src, dst, msg, rank, abort=None) -> None:
+        handler = self._handlers[dst]
+        decline = getattr(handler, "declines_transfer", None)
+
+        def should_abort() -> bool:
+            if abort is not None and abort():
+                return True
+            return decline is not None and decline(msg)
+
+        self._ingress[dst].submit(
+            msg.wire_size, msg.priority, lambda: self._deliver(src, dst, msg), rank, should_abort
+        )
+
+    def _deliver(self, src, dst, msg) -> None:
+        if src != dst:
+            self.stats[dst].received[msg.priority] += msg.wire_size
+        self.messages_delivered += 1
+        handler = self._handlers[dst]
+        if handler is not None:
+            handler.on_message(src, msg)
+
+
+# --------------------------------------------------------------------------
+# Workloads (parameterised over the sim/network implementation under test).
+# --------------------------------------------------------------------------
+
+
+class _Sink:
+    """A protocol automaton that absorbs messages without reacting."""
+
+    def start(self) -> None:
+        pass
+
+    def on_message(self, src: int, msg: Message) -> None:
+        pass
+
+
+def run_pure_timer(sim, events_target: int) -> tuple[int, float]:
+    """Self-rescheduling timer chains; returns (events, wall seconds)."""
+    chains = 64
+    per_chain = events_target // chains
+    remaining = [per_chain] * chains
+
+    def make_fire(index: int, delay: float) -> Callable[[], None]:
+        def fire() -> None:
+            remaining[index] -= 1
+            if remaining[index] > 0:
+                sim.schedule(delay, fire)
+
+        return fire
+
+    for index in range(chains):
+        sim.schedule(0.001 * index, make_fire(index, 0.001 * (index % 7 + 1)))
+    started = time.perf_counter()
+    sim.run()
+    return sim.processed_events, time.perf_counter() - started
+
+
+def run_pipe_saturation(sim, network, num_messages: int) -> tuple[int, float]:
+    """Flood a 4-node constant-bandwidth WAN with queued transfers."""
+    nodes = network.num_nodes
+    for node_id in range(nodes):
+        network.attach(node_id, _Sink())
+    for i in range(num_messages):
+        src = i % nodes
+        dst = (src + 1 + (i // nodes) % (nodes - 1)) % nodes
+        if i % 3 == 0:
+            msg = Message(wire_size=2_000, priority=Priority.RETRIEVAL)
+            network.send(src, dst, msg, rank=float(i % 5))
+        else:
+            msg = Message(wire_size=2_000, priority=Priority.DISPERSAL)
+            network.send(src, dst, msg)
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    if network.messages_delivered != num_messages:
+        raise RuntimeError(
+            f"pipe saturation delivered {network.messages_delivered}/{num_messages}"
+        )
+    return sim.processed_events, elapsed
+
+
+def _pipe_network_config() -> NetworkConfig:
+    nodes = 4
+    return NetworkConfig(
+        num_nodes=nodes,
+        propagation_delay=0.01,
+        egress_traces=[ConstantBandwidth(10 * MB)] * nodes,
+        ingress_traces=[ConstantBandwidth(10 * MB)] * nodes,
+    )
+
+
+def run_full_scenario(duration: float) -> tuple[int, float]:
+    """One saturating DL run: the bench-sweep point of BENCH_scenarios.json."""
+    nodes = 6
+    config = NetworkConfig(
+        num_nodes=nodes,
+        propagation_delay=0.05,
+        egress_traces=[ConstantBandwidth(4 * MB)] * nodes,
+        ingress_traces=[ConstantBandwidth(4 * MB)] * nodes,
+    )
+    started = time.perf_counter()
+    result = run_experiment(
+        "dl",
+        config,
+        duration,
+        workload=WorkloadSpec(kind="saturating", target_pending_bytes=2_000_000),
+        node_config=NodeConfig(max_block_size=500_000),
+        seed=0,
+    )
+    return result.events_processed, time.perf_counter() - started
+
+
+# --------------------------------------------------------------------------
+# Measurement plumbing.
+# --------------------------------------------------------------------------
+
+
+def _interleaved(current, seed, repeat: int) -> tuple[list, list]:
+    """Run both candidates alternately so they see the same machine noise."""
+    current_samples, seed_samples = [], []
+    for _ in range(repeat):
+        current_samples.append(current())
+        seed_samples.append(seed())
+    return current_samples, seed_samples
+
+
+def _median_rate(samples: list[tuple[int, float]]) -> tuple[int, float, float]:
+    """(events, median seconds, events/s) from (events, seconds) samples."""
+    events = samples[0][0]
+    seconds = statistics.median(s for _, s in samples)
+    return events, seconds, events / seconds
+
+
+def run_report(mode: str) -> dict:
+    sizes = SIZES[mode]
+    repeat = 5 if mode == "full" else 1
+
+    timer_now, timer_seed = _interleaved(
+        lambda: run_pure_timer(Simulator(), sizes["timer_events"]),
+        lambda: run_pure_timer(_SeedSimulator(), sizes["timer_events"]),
+        repeat,
+    )
+
+    def pipe_current() -> tuple[int, float]:
+        sim = Simulator()
+        return run_pipe_saturation(
+            sim, Network(sim, _pipe_network_config()), sizes["pipe_messages"]
+        )
+
+    def pipe_seed() -> tuple[int, float]:
+        sim = _SeedSimulator()
+        return run_pipe_saturation(
+            sim, _SeedNetwork(sim, _pipe_network_config()), sizes["pipe_messages"]
+        )
+
+    pipe_now, pipe_seed_samples = _interleaved(pipe_current, pipe_seed, repeat)
+    scenario_samples = [run_full_scenario(sizes["scenario_duration"]) for _ in range(1)]
+
+    workloads = {}
+    for name, now_samples, seed_samples in (
+        ("pure_timer", timer_now, timer_seed),
+        ("pipe_saturation", pipe_now, pipe_seed_samples),
+    ):
+        events, seconds, rate = _median_rate(now_samples)
+        seed_events, seed_seconds, seed_rate = _median_rate(seed_samples)
+        entry = {
+            "events": events,
+            "median_seconds": seconds,
+            "events_per_second": rate,
+            "seed_events": seed_events,
+            "seed_median_seconds": seed_seconds,
+            "seed_events_per_second": seed_rate,
+            "speedup_vs_seed": seed_seconds / seconds,
+        }
+        if name == "pipe_saturation":
+            entry["messages"] = sizes["pipe_messages"]
+            entry["messages_per_second"] = sizes["pipe_messages"] / seconds
+            entry["seed_messages_per_second"] = sizes["pipe_messages"] / seed_seconds
+        workloads[name] = entry
+
+    events, seconds, rate = _median_rate(scenario_samples)
+    workloads["full_scenario"] = {
+        "events": events,
+        "median_seconds": seconds,
+        "events_per_second": rate,
+        "duration": sizes["scenario_duration"],
+    }
+
+    return {"mode": mode, "sizes": sizes, "workloads": workloads}
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sizes for CI; does not append to the JSON trajectory",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="append to BENCH_sim_core.json even in --smoke mode",
+    )
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+
+    entry = run_report(mode)
+    if not args.smoke or args.write:
+        history: list[dict] = []
+        if OUTPUT_PATH.exists():
+            history = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
+        history.append(entry)
+        OUTPUT_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+        print(f"appended entry #{len(history)} to {OUTPUT_PATH}")
+
+    for name, data in entry["workloads"].items():
+        line = (
+            f"{name:18s} {data['events']:>9,} events in {data['median_seconds']:6.2f}s "
+            f"({data['events_per_second']:>10,.0f} events/s)"
+        )
+        if "speedup_vs_seed" in data:
+            line += f"  {data['speedup_vs_seed']:5.2f}x vs seed"
+        if "messages_per_second" in data:
+            line += f"  {data['messages_per_second']:>8,.0f} msg/s"
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@ apart on the same machine.
 
 from __future__ import annotations
 
+import argparse
 import hashlib
 import json
 import statistics
@@ -89,7 +90,6 @@ class _SeedReedSolomon:
 
     def decode(self, shards: dict[int, bytes]) -> bytes:
         indices = sorted(shards)[: self.data_shards]
-        shard_size = len(shards[indices[0]])
         sub_matrix = self._matrix[indices, :]
         inverse = GF256.mat_inv(sub_matrix)
         stacked = np.stack([np.frombuffer(shards[i], dtype=np.uint8) for i in indices])
@@ -151,7 +151,7 @@ def _compare(current, seed, *, repeat: int = 20) -> tuple[float, float]:
     return statistics.median(current_samples), statistics.median(seed_samples)
 
 
-def run_report() -> dict:
+def run_report(repeat: int = 20, many_repeat: int = 5, fast_repeat: int = 100) -> dict:
     params = ProtocolParams.for_n(N)
     code = ReedSolomonCode(params.data_shards, params.total_shards)
     seed_code = _SeedReedSolomon(code)
@@ -165,22 +165,25 @@ def run_report() -> dict:
     proof = tree.proof(7)
 
     encode_now, encode_seed = _compare(
-        lambda: code.encode(block), lambda: seed_code.encode(block)
+        lambda: code.encode(block), lambda: seed_code.encode(block), repeat=repeat
     )
     decode_now, decode_seed = _compare(
-        lambda: code.decode(parity_subset), lambda: seed_code.decode(parity_subset)
+        lambda: code.decode(parity_subset),
+        lambda: seed_code.decode(parity_subset),
+        repeat=repeat,
     )
     sys_now, sys_seed = _compare(
         lambda: code.decode(systematic_subset),
         lambda: seed_code.decode(systematic_subset),
+        repeat=repeat,
     )
     many_now, many_seed = _compare(
         lambda: code.encode_many(blocks),
         lambda: [seed_code.encode(b) for b in blocks],
-        repeat=5,
+        repeat=many_repeat,
     )
     merkle_now, merkle_seed = _compare(
-        lambda: MerkleTree(shards), lambda: _SeedMerkleTree(shards)
+        lambda: MerkleTree(shards), lambda: _SeedMerkleTree(shards), repeat=repeat
     )
 
     # (current_timing, payload_bytes, seed_timing_or_None)
@@ -194,9 +197,9 @@ def run_report() -> dict:
             sum(len(s) for s in shards),
             merkle_seed,
         ),
-        "merkle_proofs_all_16": (_time(tree.proofs_all, repeat=100), None, None),
+        "merkle_proofs_all_16": (_time(tree.proofs_all, repeat=fast_repeat), None, None),
         "merkle_verify_proof": (
-            _time(lambda: verify_proof(tree.root, shards[7], proof), repeat=100),
+            _time(lambda: verify_proof(tree.root, shards[7], proof), repeat=fast_repeat),
             len(shards[7]),
             None,
         ),
@@ -218,10 +221,20 @@ def run_report() -> dict:
     }
 
 
-def main() -> None:
-    report = run_report()
-    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {OUTPUT_PATH}")
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="Coding-substrate throughput report")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="few-sample CI regression pass; does not rewrite the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = run_report(repeat=3, many_repeat=2, fast_repeat=10)
+    else:
+        report = run_report()
+        OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {OUTPUT_PATH}")
     for name, entry in report["operations"].items():
         line = f"{name:32s} {entry['median_seconds'] * 1e3:8.3f} ms"
         if "throughput_mb_per_s" in entry:

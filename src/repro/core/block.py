@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 _TX_HEADER = struct.Struct(">QIId")
 _BLOCK_HEADER = struct.Struct(">IQI I".replace(" ", ""))

@@ -116,6 +116,8 @@ class BFTNodeBase:
         self._v_prefix: list[int] = [0] * params.n
 
         self._epoch_start_pending = False
+        #: The armed Nagle timer, as ``(epoch, cancellable handle or None)``.
+        self._epoch_timer: tuple[int, Any] | None = None
         self.started = False
 
     # ------------------------------------------------------------------
@@ -240,10 +242,11 @@ class BFTNodeBase:
         delay = self.mempool.time_until_ready(now)
 
         def fire() -> None:
+            self._epoch_timer = None
             self._epoch_start_pending = False
             self._schedule_epoch_start(epoch)
 
-        self.ctx.set_timer(delay, fire)
+        self._epoch_timer = (epoch, self.ctx.set_timer(delay, fire))
 
     def _begin_dispersal(self, epoch: int) -> None:
         """Form this epoch's block and disperse it through our VID slot."""
@@ -251,6 +254,14 @@ class BFTNodeBase:
         if state.dispersal_started:
             return
         state.dispersal_started = True
+        timer = self._epoch_timer
+        if timer is not None and timer[0] == epoch:
+            # A Nagle timer armed for this epoch can only re-check state that
+            # is now settled; cancel it so the dead entry leaves the queue.
+            if timer[1] is not None:
+                timer[1].cancel()
+            self._epoch_timer = None
+            self._epoch_start_pending = False
         self.current_epoch = max(self.current_epoch, epoch)
         block = self._make_block(epoch)
         state.own_block = block

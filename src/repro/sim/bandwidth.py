@@ -34,6 +34,15 @@ class ConstantBandwidth:
             raise ValueError(f"bandwidth must be positive, got {rate}")
         self._rate = rate
 
+    @property
+    def rate(self) -> float | None:
+        """The constant rate in bytes/second (None means unlimited).
+
+        Exposed so the pipe can detect constant traces once at construction
+        and compute finish times arithmetically instead of integrating.
+        """
+        return self._rate
+
     def rate_at(self, time: float) -> float:
         return math.inf if self._rate is None else self._rate
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
+from repro.sim.events import Event
 from repro.sim.messages import Message
 
 
@@ -30,7 +31,11 @@ class Router(Protocol):
 
 
 class Clock(Protocol):
-    """Anything that can tell time and schedule callbacks."""
+    """Anything that can tell time and schedule callbacks.
+
+    ``schedule_event`` (returning a cancellable handle) is optional: clocks
+    that lack it still work, at the price of non-cancellable timers.
+    """
 
     @property
     def now(self) -> float: ...
@@ -74,11 +79,23 @@ class NodeContext:
         The paper's pseudocode has servers send broadcast messages to
         themselves as well (Fig. 3 caption), which this mirrors.
         """
-        for dst in range(self._router.num_nodes):
-            if dst == self.node_id and not include_self:
+        router = self._router
+        node_id = self.node_id
+        for dst in range(router.num_nodes):
+            if dst == node_id and not include_self:
                 continue
-            self._router.send(self.node_id, dst, msg, rank)
+            router.send(node_id, dst, msg, rank)
 
-    def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` after ``delay`` seconds of virtual time."""
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> Event | None:
+        """Run ``callback`` after ``delay`` seconds of virtual time.
+
+        Returns a cancellable :class:`~repro.sim.events.Event` handle when the
+        underlying clock supports one (the discrete-event simulator and the
+        instant router both do), else None.  Cancelling a timer that already
+        fired is a no-op, so callers may cancel unconditionally.
+        """
+        schedule_event = getattr(self._clock, "schedule_event", None)
+        if schedule_event is not None:
+            return schedule_event(delay, callback)
         self._clock.schedule(delay, callback)
+        return None

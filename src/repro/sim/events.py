@@ -4,13 +4,81 @@ A :class:`Simulator` owns virtual time and a priority queue of scheduled
 callbacks.  Everything in an experiment — message transmissions, bandwidth
 changes, protocol timers, workload arrivals — is a callback on this queue,
 so a whole wide-area deployment runs deterministically in one thread.
+
+Two scheduling flavours share one queue:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — fire-and-forget.
+  The queue entry is a bare ``(when, seq, callback)`` tuple; nothing else is
+  allocated, which keeps the pipe/network hot path lean.
+* :meth:`Simulator.schedule_event` / :meth:`Simulator.schedule_event_at` —
+  return a slotted :class:`Event` handle with O(1) :meth:`Event.cancel`.
+  Cancellation is *lazy*: the heap entry stays put with its callback cleared
+  and is discarded when it surfaces (or when a compaction sweep rebuilds the
+  heap once more than half the queue is dead), so protocol timers and abort
+  paths never pay for heap deletion.
+
+Ordering is strict ``(time, FIFO sequence)``: ties at the same virtual time
+run in scheduling order, and both flavours draw from the same sequence
+counter so they interleave exactly as scheduled.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+import math
+from heapq import heapify, heappop, heappush
 from typing import Callable
+
+#: Lazy deletion compacts the heap only past this many dead entries (and only
+#: when they outnumber the live ones), so small simulations never pay for it.
+_COMPACT_MIN_STALE = 64
+
+
+class Event:
+    """A cancellable scheduled callback (slotted, lazily deleted).
+
+    Returned by the ``schedule_event`` family.  ``cancel()`` is O(1): it
+    clears the callback and leaves the dead heap entry for the run loop (or
+    a compaction sweep) to discard.  Executing an event also clears the
+    callback, so cancelling an already-executed — or already-cancelled —
+    event is a harmless no-op.
+    """
+
+    __slots__ = ("_owner", "when", "callback")
+
+    def __init__(self, owner: "Simulator", when: float, callback: Callable[[], None]):
+        self._owner = owner
+        self.when = when
+        self.callback = callback
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event can no longer fire (cancelled or executed)."""
+        return self.callback is None
+
+    def cancel(self) -> bool:
+        """Prevent the callback from running.  Returns True if it was pending."""
+        if self.callback is None:
+            return False
+        self.callback = None
+        self._owner._note_cancelled()
+        return True
+
+
+class InternalCallback:
+    """A reusable scheduler hand-off excluded from event accounting.
+
+    Used for internal bookkeeping (e.g. a pipe kicking off service for a
+    newly-submitted transfer at the current instant): it runs in strict
+    ``(time, sequence)`` order like any event but does not count toward
+    ``processed_events`` or a ``run(max_events=...)`` budget, so performance
+    accounting stays comparable across scheduler-internals changes.  The
+    wrapper is allocated once by its owner and re-scheduled, never per call.
+    """
+
+    __slots__ = ("callback",)
+
+    def __init__(self, callback: Callable[[], None]):
+        self.callback = callback
 
 
 class Simulator:
@@ -18,9 +86,14 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
-        self._sequence = itertools.count()
+        #: Heap entries are ``(when, seq, item)`` where ``item`` is a bare
+        #: callback (fire-and-forget), an :class:`Event` (cancellable), or an
+        #: :class:`InternalCallback` (uncounted bookkeeping).
+        self._queue: list[tuple[float, int, Callable[[], None] | Event | InternalCallback]] = []
+        self._next_seq = 0
         self._processed_events = 0
+        #: Cancelled events still occupying heap slots (lazy deletion debt).
+        self._stale = 0
 
     @property
     def now(self) -> float:
@@ -29,39 +102,166 @@ class Simulator:
 
     @property
     def processed_events(self) -> int:
-        """Number of events executed so far (useful for performance reporting)."""
+        """Number of events executed so far (useful for performance reporting).
+
+        Cancelled events are skipped, not executed, so they never count.
+        """
         return self._processed_events
 
     @property
     def pending_events(self) -> int:
-        """Number of events still waiting in the queue."""
-        return len(self._queue)
+        """Number of live events still waiting in the queue.
+
+        Lazily-deleted (cancelled) entries still sitting in the heap are
+        excluded.
+        """
+        return len(self._queue) - self._stale
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` seconds from now (``delay`` must be >= 0)."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past: delay={delay}")
-        self.schedule_at(self._now + delay, callback)
+        self._next_seq = seq = self._next_seq + 1
+        heappush(self._queue, (self._now + delay, seq, callback))
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute virtual time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: t={when} < now={self._now}")
-        heapq.heappush(self._queue, (when, next(self._sequence), callback))
+        self._next_seq = seq = self._next_seq + 1
+        heappush(self._queue, (when, seq, callback))
+
+    def schedule_internal(self, delay: float, internal: InternalCallback) -> int:
+        """Schedule a preallocated :class:`InternalCallback` ``delay`` from now.
+
+        Returns the sequence number the entry occupies.  The caller may later
+        hand that slot to a real event via :meth:`reschedule_at` (after this
+        internal callback has fired), which keeps same-instant tie-breaking
+        identical to code that scheduled the event directly — the pipes use
+        this so deferred service starts cannot reorder anything.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: delay={delay}")
+        self._next_seq = seq = self._next_seq + 1
+        heappush(self._queue, (self._now + delay, seq, internal))
+        return seq
+
+    def reschedule_at(self, when: float, seq: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at ``when`` under an already-retired ``seq``.
+
+        Only valid for a sequence number whose original entry has already
+        been popped (e.g. from inside the :class:`InternalCallback` that owned
+        it); reusing a live sequence number would create duplicate heap keys.
+        """
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: t={when} < now={self._now}")
+        heappush(self._queue, (when, seq, callback))
+
+    def count_inline_event(self) -> None:
+        """Account for a semantic event a subsystem executed inline.
+
+        Subsystems that complete work without a scheduler round-trip (e.g. a
+        pipe draining a zero-duration transfer in batch) call this so
+        ``processed_events`` keeps counting semantic events, comparable
+        across batching optimisations.
+        """
+        self._processed_events += 1
+
+    def schedule_event(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Like :meth:`schedule`, but returns a cancellable :class:`Event`."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_event_at(self._now + delay, callback)
+
+    def schedule_event_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Like :meth:`schedule_at`, but returns a cancellable :class:`Event`."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: t={when} < now={self._now}")
+        event = Event(self, when, callback)
+        self._next_seq = seq = self._next_seq + 1
+        heappush(self._queue, (when, seq, event))
+        return event
+
+    def _note_cancelled(self) -> None:
+        self._stale += 1
+        if self._stale > _COMPACT_MIN_STALE and self._stale * 2 > len(self._queue):
+            # Compact in place: ``run`` holds a reference to this list.
+            self._queue[:] = [
+                entry
+                for entry in self._queue
+                if not (type(entry[2]) is Event and entry[2].callback is None)
+            ]
+            heapify(self._queue)
+            self._stale = 0
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Execute events until the queue drains, ``until`` is reached, or
         ``max_events`` events have run.  Returns the virtual time at which the
-        run stopped."""
+        run stopped.  Cancelled events are discarded without executing (and
+        without counting against ``max_events``)."""
+        queue = self._queue
+        if max_events is None:
+            # The two hot shapes (drain everything / run to a horizon) skip
+            # the per-iteration budget arithmetic, and batch the processed
+            # counter into a local (written back on every exit path, so the
+            # count is exact after ``run`` returns or raises).
+            processed = 0
+            try:
+                while queue:
+                    entry = queue[0]
+                    when = entry[0]
+                    if until is not None and when > until:
+                        self._now = until
+                        return until
+                    heappop(queue)
+                    item = entry[2]
+                    cls = type(item)
+                    if cls is Event:
+                        callback = item.callback
+                        if callback is None:
+                            self._stale -= 1
+                            continue
+                        item.callback = None  # executed: later cancel() is a no-op
+                    elif cls is InternalCallback:
+                        # Internal bookkeeping: runs in order, not an event.
+                        self._now = when
+                        item.callback()
+                        continue
+                    else:
+                        callback = item
+                    self._now = when
+                    callback()
+                    processed += 1
+            finally:
+                self._processed_events += processed
+            if until is not None:
+                self._now = max(self._now, until)
+            return self._now
+        horizon = math.inf if until is None else until
         executed = 0
-        while self._queue:
-            when, _seq, callback = self._queue[0]
-            if until is not None and when > until:
-                self._now = until
+        while queue:
+            entry = queue[0]
+            when = entry[0]
+            if when > horizon:
+                self._now = until  # type: ignore[assignment]  # horizon finite => until set
                 return self._now
-            if max_events is not None and executed >= max_events:
+            if executed >= max_events:
                 return self._now
-            heapq.heappop(self._queue)
+            heappop(queue)
+            item = entry[2]
+            cls = type(item)
+            if cls is Event:
+                callback = item.callback
+                if callback is None:
+                    self._stale -= 1
+                    continue
+                item.callback = None  # executed: later cancel() is a no-op
+            elif cls is InternalCallback:
+                self._now = when
+                item.callback()
+                continue
+            else:
+                callback = item
             self._now = when
             callback()
             executed += 1

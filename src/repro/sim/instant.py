@@ -17,6 +17,27 @@ from repro.sim.messages import Message
 from repro.sim.process import Process
 
 
+class _InstantTimer:
+    """Cancellable timer handle mirroring :class:`repro.sim.events.Event`."""
+
+    __slots__ = ("when", "callback")
+
+    def __init__(self, when: float, callback: Callable[[], None]):
+        self.when = when
+        self.callback = callback
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def cancel(self) -> bool:
+        """Prevent the callback from running.  Returns True if it was pending."""
+        if self.callback is None:
+            return False
+        self.callback = None
+        return True
+
+
 class InstantNetwork:
     """A zero-latency router with an explicit, controllable delivery loop."""
 
@@ -59,6 +80,13 @@ class InstantNetwork:
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         self._timer_sequence += 1
         self._timers.append((self._now + delay, self._timer_sequence, callback))
+
+    def schedule_event(self, delay: float, callback: Callable[[], None]) -> _InstantTimer:
+        """Like :meth:`schedule`, but returns a cancellable timer handle."""
+        timer = _InstantTimer(self._now + delay, callback)
+        self._timer_sequence += 1
+        self._timers.append((timer.when, self._timer_sequence, timer))
+        return timer
 
     # --- test-facing API --------------------------------------------------
 
@@ -110,7 +138,14 @@ class InstantNetwork:
                 delivered += 1
             if self._timers:
                 self._timers.sort()
-                when, _seq, callback = self._timers.pop(0)
+                when, _seq, item = self._timers.pop(0)
+                if isinstance(item, _InstantTimer):
+                    callback = item.callback
+                    if callback is None:
+                        continue  # lazily-deleted (cancelled) timer
+                    item.callback = None
+                else:
+                    callback = item
                 self._now = max(self._now, when)
                 callback()
         return delivered

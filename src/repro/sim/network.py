@@ -12,6 +12,13 @@ and is then handed to the receiver's ``on_message``.  Loopback messages are
 delivered after a negligible local delay and are not charged bandwidth,
 matching the paper's setup where a node's own chunk never crosses the WAN.
 
+Per-message state along that journey lives in one slotted
+:class:`_MessageTransfer` record whose bound methods are the pipe and timer
+callbacks — the hop-per-hop closures this replaces dominated allocation
+profiles at high message rates.  Scalar propagation delays and the
+receivers' ``declines_transfer`` hooks are resolved once instead of per
+message.
+
 The network keeps per-node traffic statistics split by priority class; the
 dispersal-traffic fraction of Fig. 13 is read straight from these counters.
 """
@@ -34,22 +41,23 @@ LOOPBACK_DELAY = 1e-4
 
 @dataclass
 class TrafficStats:
-    """Per-node byte counters split by traffic class."""
+    """Per-node byte counters split by traffic class.
 
-    sent: dict[Priority, int] = field(
-        default_factory=lambda: {priority: 0 for priority in Priority}
-    )
-    received: dict[Priority, int] = field(
-        default_factory=lambda: {priority: 0 for priority in Priority}
-    )
+    The counters are lists indexed by :class:`Priority` value (IntEnum
+    members index them directly); list indexing keeps the per-message
+    accounting off the dict hash path.
+    """
+
+    sent: list[int] = field(default_factory=lambda: [0] * len(Priority))
+    received: list[int] = field(default_factory=lambda: [0] * len(Priority))
 
     @property
     def total_sent(self) -> int:
-        return sum(self.sent.values())
+        return sum(self.sent)
 
     @property
     def total_received(self) -> int:
-        return sum(self.received.values())
+        return sum(self.received)
 
     @property
     def dispersal_fraction(self) -> float:
@@ -94,6 +102,87 @@ class NetworkConfig:
         return self.ingress_traces[node]
 
 
+#: Journey phases of a :class:`_MessageTransfer`.
+_EGRESS_DONE = 0
+_PROPAGATED = 1
+_DELIVER = 2
+
+
+class _MessageTransfer:
+    """Slotted per-message journey state (egress -> propagation -> ingress).
+
+    One record per message replaces the seed's four per-message closures.
+    The record is itself the callback for every hop — ``__call__`` advances
+    through the phases above — so the pipes and the simulator hold the
+    record directly instead of a fresh bound method per hop.
+    """
+
+    __slots__ = ("network", "src", "dst", "msg", "rank", "abort", "phase")
+
+    def __init__(
+        self,
+        network: "Network",
+        src: int,
+        dst: int,
+        msg: Message,
+        rank: float,
+        abort: Callable[[], bool] | None,
+        phase: int = _EGRESS_DONE,
+    ):
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.msg = msg
+        self.rank = rank
+        self.abort = abort
+        self.phase = phase
+
+    def __call__(self) -> None:
+        net = self.network
+        msg = self.msg
+        phase = self.phase
+        if phase == _DELIVER:
+            src = self.src
+            dst = self.dst
+            if src != dst:
+                net.stats[dst].received[msg.priority] += msg.wire_size
+            net.messages_delivered += 1
+            handler = net._handlers[dst]
+            if handler is not None:
+                handler.on_message(src, msg)
+        elif phase == _EGRESS_DONE:
+            net.stats[self.src].sent[msg.priority] += msg.wire_size
+            delay = net._scalar_delay
+            if delay is None:
+                delay = net._config.delay(self.src, self.dst)
+            self.phase = _PROPAGATED
+            net._sim.schedule(delay, self)
+        else:
+            # Arrived at the receiver: charge its ingress pipe.  If neither a
+            # sender-side abort nor a receiver-side decline hook exists, skip
+            # the ``should_abort`` wrapper entirely.
+            dst = self.dst
+            if self.abort is None and net._declines[dst] is None:
+                abort = None
+            else:
+                abort = self.should_abort
+            self.phase = _DELIVER
+            net._ingress[dst].submit(msg.wire_size, msg.priority, self, self.rank, abort)
+
+    def should_abort(self) -> bool:
+        # Receiver-side cancellation: before the transfer is charged against
+        # the receiver's ingress bandwidth, the receiving automaton may
+        # decline it (e.g. a retrieval chunk for a block it already decoded).
+        # This models receiver-driven stream cancellation (QUIC STOP_SENDING
+        # / flow control): the bytes are neither transmitted in full nor
+        # charged to the receiver's scarce download capacity.
+        abort = self.abort
+        if abort is not None and abort():
+            return True
+        decline = self.network._declines[self.dst]
+        return decline is not None and decline(self.msg)
+
+
 class Network:
     """Connects protocol automata through bandwidth-limited pipes."""
 
@@ -108,7 +197,14 @@ class Network:
                 )
         self._sim = sim
         self._config = config
+        self._num_nodes = config.num_nodes
+        delay = config.propagation_delay
+        self._scalar_delay: float | None = (
+            float(delay) if isinstance(delay, (int, float)) else None
+        )
         self._handlers: list[Process | None] = [None] * config.num_nodes
+        #: Per-node ``declines_transfer`` hooks, resolved at attach time.
+        self._declines: list[Callable[[Message], bool] | None] = [None] * config.num_nodes
         self._egress = [
             Pipe(sim, config.egress_trace(i)) for i in range(config.num_nodes)
         ]
@@ -120,7 +216,7 @@ class Network:
 
     @property
     def num_nodes(self) -> int:
-        return self._config.num_nodes
+        return self._num_nodes
 
     @property
     def sim(self) -> Simulator:
@@ -129,6 +225,7 @@ class Network:
     def attach(self, node_id: int, handler: Process) -> None:
         """Register the protocol automaton running at ``node_id``."""
         self._handlers[node_id] = handler
+        self._declines[node_id] = getattr(handler, "declines_transfer", None)
 
     def start(self) -> None:
         """Invoke ``start()`` on every attached automaton at time zero."""
@@ -152,50 +249,12 @@ class Network:
         bandwidth.  Senders use it to cancel retrieval chunks the receiver no
         longer needs (S6.3's "stop sending more chunks" optimisation).
         """
-        if not 0 <= dst < self.num_nodes:
+        if not 0 <= dst < self._num_nodes:
             raise ConfigurationError(f"destination {dst} out of range")
         if src == dst:
             self.stats[src].sent[msg.priority] += msg.wire_size
-            self._sim.schedule(LOOPBACK_DELAY, lambda: self._deliver(src, dst, msg))
+            transfer = _MessageTransfer(self, src, dst, msg, rank, abort, _DELIVER)
+            self._sim.schedule(LOOPBACK_DELAY, transfer)
             return
-
-        def after_egress() -> None:
-            self.stats[src].sent[msg.priority] += msg.wire_size
-            delay = self._config.delay(src, dst)
-            self._sim.schedule(delay, lambda: self._enter_ingress(src, dst, msg, rank, abort))
-
-        self._egress[src].submit(msg.wire_size, msg.priority, after_egress, rank, abort)
-
-    def _enter_ingress(
-        self,
-        src: int,
-        dst: int,
-        msg: Message,
-        rank: float,
-        abort: "Callable[[], bool] | None" = None,
-    ) -> None:
-        # Receiver-side cancellation: before the transfer is charged against
-        # the receiver's ingress bandwidth, the receiving automaton may
-        # decline it (e.g. a retrieval chunk for a block it already decoded).
-        # This models receiver-driven stream cancellation (QUIC STOP_SENDING
-        # / flow control): the bytes are neither transmitted in full nor
-        # charged to the receiver's scarce download capacity.
-        handler = self._handlers[dst]
-        decline = getattr(handler, "declines_transfer", None)
-
-        def should_abort() -> bool:
-            if abort is not None and abort():
-                return True
-            return decline is not None and decline(msg)
-
-        self._ingress[dst].submit(
-            msg.wire_size, msg.priority, lambda: self._deliver(src, dst, msg), rank, should_abort
-        )
-
-    def _deliver(self, src: int, dst: int, msg: Message) -> None:
-        if src != dst:
-            self.stats[dst].received[msg.priority] += msg.wire_size
-        self.messages_delivered += 1
-        handler = self._handlers[dst]
-        if handler is not None:
-            handler.on_message(src, msg)
+        transfer = _MessageTransfer(self, src, dst, msg, rank, abort)
+        self._egress[src].submit(msg.wire_size, msg.priority, transfer, rank, abort)

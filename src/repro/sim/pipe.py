@@ -8,17 +8,59 @@ highest-priority non-empty queue (dispersal-phase traffic before retrieval
 traffic).  Within a priority class, queueing is FIFO except that retrieval
 traffic can be sub-prioritised by a caller-supplied rank (the paper serves
 the QUIC stream with the lowest epoch number first, S5).
+
+Hot-path structure (the event loop and these pipes dominate scenario
+profiles):
+
+* Each priority class keeps a plain ``deque`` while every submission uses
+  the default rank, falling back to a ``(rank, seq, ...)`` heap only once a
+  caller actually ranks its traffic — dispersal-class traffic never pays for
+  heap ordering it does not use.  Both containers are int-indexed lists,
+  not enum-keyed dicts.
+* The in-flight transfer lives in slots on the pipe itself and completes
+  through one prebound method scheduled on the simulator, instead of a
+  fresh ``complete()`` closure per transfer.
+* Constant-rate traces are detected once at construction and finish times
+  are computed arithmetically (``now + size / rate``), skipping the trace
+  integration entirely.
+* Zero-duration transfers (unlimited-bandwidth pipes, empty messages) drain
+  in batches: the serve loop completes every same-instant transfer inline
+  without re-entering the scheduler per message.  This is the one deliberate
+  ordering deviation from the seed core: a zero-duration backlog completes
+  consecutively instead of interleaving with other same-instant events by
+  FIFO sequence (virtual times are unchanged).  Finite-rate pipes — every
+  catalog scenario — are ordering-identical to a synchronous start.
+
+``submit`` never serves synchronously in the caller's frame; an idle pipe
+hands off to the scheduler at the current virtual time, so a transfer
+submitted from inside another transfer's ``on_done`` (or any other callback)
+always observes consistent pipe state.  The transfer that found the pipe
+idle is the one that starts serving — exactly the selection a synchronous
+start would have made, with the hand-off's sequence slot reused for the
+completion event so same-instant tie-breaking is unchanged too — and
+everything else submitted at the same instant queues behind it under the
+usual ``(priority, rank, FIFO)`` order.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+import math
+from collections import deque
+from heapq import heappop, heappush
 from typing import Callable
 
-from repro.sim.bandwidth import BandwidthTrace
-from repro.sim.events import Simulator
+from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth
+from repro.sim.events import InternalCallback, Simulator
 from repro.sim.messages import Priority
+
+#: Priority classes in service order (lower value served first), as plain
+#: ints so the per-class containers are list-indexed.
+_PRIORITY_ORDER = tuple(sorted(int(p) for p in Priority))
+_NUM_CLASSES = max(_PRIORITY_ORDER) + 1
+
+_OnDone = Callable[[], None]
+
+_INF = math.inf
 
 
 class Pipe:
@@ -27,12 +69,32 @@ class Pipe:
     def __init__(self, sim: Simulator, trace: BandwidthTrace):
         self._sim = sim
         self._trace = trace
-        self._queues: dict[
-            Priority,
-            list[tuple[float, int, int, Callable[[], None], Callable[[], bool] | None]],
-        ] = {priority: [] for priority in Priority}
-        self._sequence = itertools.count()
+        # Constant-rate fast path: resolve the rate once (math.inf for an
+        # unlimited pipe, None for genuinely time-varying traces).
+        if isinstance(trace, ConstantBandwidth):
+            self._rate: float | None = _INF if trace.rate is None else trace.rate
+        else:
+            self._rate = None
+        #: Per-class FIFO backlog: ``(size, on_done, abort)`` deques.
+        self._fifo: list[deque] = [deque() for _ in range(_NUM_CLASSES)]
+        #: Per-class ranked backlog: ``(rank, seq, size, on_done, abort)`` heaps.
+        self._heap: list[list] = [[] for _ in range(_NUM_CLASSES)]
+        #: Whether a class has ever seen a non-default rank (heap mode).
+        self._ranked: list[bool] = [False] * _NUM_CLASSES
+        self._next_seq = 0
+        #: True from the moment a transfer is stashed or serving begins until
+        #: the queues drain: a single flag covers both "kick scheduled" and
+        #: "transfer in flight", so ``submit`` makes one check.
         self._busy = False
+        #: The transfer that found the pipe idle and is about to start
+        #: serving: ``(size, on_done, abort, reserved seq)``.
+        self._kick_head: "tuple[int, _OnDone, Callable[[], bool] | None, int] | None" = None
+        # The in-flight transfer, slotted on the pipe (exactly one at a time).
+        self._cur_size = 0
+        self._cur_on_done: _OnDone | None = None
+        self._cur_start = 0.0
+        self._drain_cb = self._drain
+        self._kick_entry = InternalCallback(self._kick)
         self.bytes_transferred = 0
         self.bytes_aborted = 0
         self.busy_time = 0.0
@@ -53,44 +115,171 @@ class Pipe:
         True the transfer is dropped without consuming any bandwidth and
         ``on_done`` is never called — this models the paper's "stop sending
         chunks once the block is decodable" cancellation (S6.3).
+
+        Serving starts via the simulator (at the current virtual time), never
+        synchronously inside the caller's frame.
         """
         if size < 0:
             raise ValueError(f"transfer size must be non-negative, got {size}")
-        entry = (rank, next(self._sequence), size, on_done, abort)
-        heapq.heappush(self._queues[priority], entry)
-        if not self._busy:
-            self._serve_next()
+        if self._busy:
+            if rank != 0.0 or self._ranked[priority]:
+                self._push_ranked(priority, rank, size, on_done, abort)
+            else:
+                self._fifo[priority].append((size, on_done, abort))
+            return
+        # This transfer found the pipe idle (all queues drained): it is the
+        # one that starts serving, exactly as if service had begun at
+        # submission — but the hand-off goes through the scheduler so the
+        # caller's frame never runs pipe-serving code.  Same-instant
+        # submissions that arrive before the kick queue up behind it, and the
+        # kick's sequence slot is handed to the completion event so
+        # tie-breaking at the finish instant matches a synchronous start.
+        self._busy = True
+        seq = self._sim.schedule_internal(0.0, self._kick_entry)
+        self._kick_head = (size, on_done, abort, seq)
+
+    def _push_ranked(
+        self, priority: int, rank: float, size: int, on_done: _OnDone, abort
+    ) -> None:
+        heap = self._heap[priority]
+        if not self._ranked[priority]:
+            # First ranked submission for this class: spill the FIFO backlog
+            # into the heap (rank 0.0, original order) and stay in heap mode.
+            self._ranked[priority] = True
+            fifo = self._fifo[priority]
+            while fifo:
+                entry = fifo.popleft()
+                self._next_seq = seq = self._next_seq + 1
+                heappush(heap, (0.0, seq) + entry)
+        self._next_seq = seq = self._next_seq + 1
+        heappush(heap, (rank, seq, size, on_done, abort))
 
     @property
     def queued_bytes(self) -> int:
-        """Bytes waiting in the pipe (not counting the transfer in flight)."""
-        return sum(size for queue in self._queues.values() for _, _, size, _, _ in queue)
+        """Bytes waiting in the pipe (not counting any transfer in flight)."""
+        total = 0 if self._kick_head is None else self._kick_head[0]
+        for priority in _PRIORITY_ORDER:
+            total += sum(entry[0] for entry in self._fifo[priority])
+            total += sum(entry[2] for entry in self._heap[priority])
+        return total
 
-    def _serve_next(self) -> None:
-        for priority in sorted(self._queues):
-            queue = self._queues[priority]
-            while queue:
-                _rank, _seq, size, on_done, abort = heapq.heappop(queue)
-                if abort is not None and abort():
-                    self.bytes_aborted += size
-                    continue
-                self._start_transfer(size, on_done)
-                return
-        self._busy = False
+    def _kick(self) -> None:
+        head = self._kick_head
+        assert head is not None
+        self._kick_head = None
+        size, on_done, abort, seq = head
+        if abort is not None and abort():
+            self.bytes_aborted += size
+            self._drain()
+            return
+        if not self._serve(size, on_done, seq):
+            self._drain()
 
-    def _start_transfer(self, size: int, on_done: Callable[[], None]) -> None:
+    def _serve(self, size: int, on_done: _OnDone, seq: int | None = None) -> bool:
+        """Start serving one transfer.  Returns False if it completed inline
+        (zero duration), True if its completion was scheduled.  ``seq`` is the
+        retired sequence slot of the kick that started this transfer, if any;
+        reusing it keeps completion tie-breaking identical to a synchronous
+        start."""
+        sim = self._sim
+        now = sim._now
+        rate = self._rate
+        if rate is not None:
+            finish = now if rate == _INF else now + size / rate
+        else:
+            finish = self._trace.finish_time(now, size)
+            if finish == _INF:
+                raise RuntimeError(
+                    "bandwidth trace never completes a transfer (zero trailing rate)"
+                )
         self._busy = True
-        start = self._sim.now
-        finish = self._trace.finish_time(start, size)
-        if finish == float("inf"):
-            raise RuntimeError(
-                "bandwidth trace never completes a transfer (zero trailing rate)"
-            )
-
-        def complete() -> None:
+        if finish <= now:
+            # Zero-duration transfer: complete inline in the current frame
+            # (for a kick, that frame *is* the slot a synchronous completion
+            # would have occupied) and count the semantic event.
+            sim.count_inline_event()
             self.bytes_transferred += size
-            self.busy_time += finish - start
             on_done()
-            self._serve_next()
+            return False
+        self._cur_size = size
+        self._cur_on_done = on_done
+        self._cur_start = now
+        if seq is None:
+            sim.schedule_at(finish, self._drain_cb)
+        else:
+            sim.reschedule_at(finish, seq, self._drain_cb)
+        return True
 
-        self._sim.schedule_at(finish, complete)
+    def _drain(self) -> None:
+        # The single hot function, scheduled as the in-flight transfer's
+        # completion callback and also used by the kick paths (with no
+        # transfer in flight) to start service.  One merged loop: finish the
+        # completed transfer if any, pop the next serveable one (dropping
+        # aborted entries), compute its finish time, and either schedule the
+        # single completion callback or — for zero-duration transfers —
+        # complete inline and keep draining, batching same-instant backlogs
+        # without a scheduler round-trip per message.
+        sim = self._sim
+        on_done = self._cur_on_done
+        if on_done is not None:
+            # A transfer just finished: account for it and notify.
+            self._cur_on_done = None
+            self.bytes_transferred += self._cur_size
+            self.busy_time += sim._now - self._cur_start
+            on_done()
+        rate = self._rate
+        fifos = self._fifo
+        heaps = self._heap
+        # Claim the pipe for the whole drain so submissions made by inline
+        # ``on_done`` callbacks (or abort predicates) enqueue instead of
+        # stashing a second head; cleared again if the queues turn out empty.
+        self._busy = True
+        while True:
+            size = -1
+            for priority in _PRIORITY_ORDER:
+                fifo = fifos[priority]
+                while fifo:
+                    entry = fifo.popleft()
+                    abort = entry[2]
+                    if abort is not None and abort():
+                        self.bytes_aborted += entry[0]
+                        continue
+                    size = entry[0]
+                    on_done = entry[1]
+                    break
+                if size >= 0:
+                    break
+                heap = heaps[priority]
+                while heap:
+                    entry = heappop(heap)
+                    abort = entry[4]
+                    if abort is not None and abort():
+                        self.bytes_aborted += entry[2]
+                        continue
+                    size = entry[2]
+                    on_done = entry[3]
+                    break
+                if size >= 0:
+                    break
+            if size < 0:
+                self._busy = False
+                return
+            now = sim._now
+            if rate is not None:
+                finish = now if rate == _INF else now + size / rate
+            else:
+                finish = self._trace.finish_time(now, size)
+                if finish == _INF:
+                    raise RuntimeError(
+                        "bandwidth trace never completes a transfer (zero trailing rate)"
+                    )
+            if finish > now:
+                self._cur_size = size
+                self._cur_on_done = on_done
+                self._cur_start = now
+                sim.schedule_at(finish, self._drain_cb)
+                return
+            # Zero-duration: complete inline and continue the drain.
+            sim.count_inline_event()
+            self.bytes_transferred += size
+            on_done()

@@ -21,6 +21,7 @@ decodable to avoid downloading ``N/(N-2f)``x the block size.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable
 
 from repro.common.errors import DispersalError
@@ -284,8 +285,10 @@ class AvidMInstance:
             ReturnChunkMsg(instance=self.instance, root=self.my_root, chunk=self.my_chunk),
             rank=self.retrieval_rank,
             # Drop the transfer (saving the bandwidth) if the client cancels
-            # before this chunk reaches the head of the egress queue.
-            abort=lambda dst=dst: dst in self._cancelled_retrievers,
+            # before this chunk reaches the head of the egress queue.  A
+            # C-level partial on the set's membership test, rather than a
+            # fresh closure per queued chunk.
+            abort=partial(self._cancelled_retrievers.__contains__, dst),
         )
 
     # --- client side (Fig. 4: collecting chunks) ---

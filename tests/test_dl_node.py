@@ -10,7 +10,6 @@ import pytest
 from repro.adversary.censor import CensoringNode
 from repro.adversary.crash import CrashedNode
 from repro.adversary.equivocator import EquivocatingDisperserNode
-from repro.common.params import ProtocolParams
 from repro.core.config import NodeConfig
 from repro.core.node import DLCoupledNode, DispersedLedgerNode
 from tests.conftest import build_cluster, submit_texts

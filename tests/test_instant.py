@@ -121,3 +121,34 @@ class TestTimers:
         network.schedule(1.0, lambda: events.append("early"))
         network.run()
         assert events == ["early", "late"]
+
+    def test_cancellable_timer_handle(self):
+        network = InstantNetwork(1)
+        events = []
+        timer = network.schedule_event(1.0, lambda: events.append("cancelled"))
+        network.schedule_event(2.0, lambda: events.append("kept"))
+        assert timer.cancel() is True
+        assert timer.cancel() is False  # double-cancel is a no-op
+        network.run()
+        assert events == ["kept"]
+
+    def test_cancelling_fired_timer_is_noop(self):
+        network = InstantNetwork(1)
+        events = []
+        timer = network.schedule_event(1.0, lambda: events.append("fired"))
+        network.run()
+        assert events == ["fired"]
+        assert timer.cancelled
+        assert timer.cancel() is False
+
+    def test_set_timer_returns_cancellable_handle(self):
+        from repro.sim.context import NodeContext
+
+        network = InstantNetwork(1)
+        ctx = NodeContext(0, network, network)
+        events = []
+        handle = ctx.set_timer(1.0, lambda: events.append("timer"))
+        assert handle is not None
+        handle.cancel()
+        network.run()
+        assert events == []

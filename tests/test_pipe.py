@@ -86,6 +86,122 @@ class TestAbort:
         assert done == ["kept"]
 
 
+class TestReentrantSubmission:
+    def test_submit_from_on_done_serves_in_order(self):
+        # A transfer submitted from inside another transfer's ``on_done`` must
+        # not observe a half-updated pipe: it queues normally and is served
+        # under the usual priority/FIFO order.
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+
+        def first_done():
+            done.append(("first", sim.now))
+            pipe.submit(100, Priority.DISPERSAL, lambda: done.append(("nested", sim.now)))
+
+        pipe.submit(100, Priority.DISPERSAL, first_done)
+        pipe.submit(100, Priority.DISPERSAL, lambda: done.append(("second", sim.now)))
+        sim.run()
+        assert [label for label, _ in done] == ["first", "second", "nested"]
+        assert done[0][1] == pytest.approx(1.0)
+        assert done[1][1] == pytest.approx(2.0)
+        assert done[2][1] == pytest.approx(3.0)
+        assert pipe.bytes_transferred == 300
+
+    def test_submit_to_idle_pipe_from_on_done(self):
+        # Resubmitting into a pipe that is about to go idle (from the last
+        # transfer's on_done) must restart service exactly once.
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+
+        def resubmit():
+            done.append("first")
+            pipe.submit(50, Priority.DISPERSAL, lambda: done.append("again"))
+
+        pipe.submit(100, Priority.DISPERSAL, resubmit)
+        sim.run()
+        assert done == ["first", "again"]
+        assert sim.now == pytest.approx(1.5)
+
+    def test_submit_starts_via_simulator_not_caller_frame(self):
+        sim, pipe = make_pipe(rate=100.0)
+        served = []
+        pipe.submit(100, Priority.DISPERSAL, lambda: served.append(sim.now))
+        # Nothing is served synchronously inside the submitting frame.
+        assert served == []
+        assert pipe.queued_bytes == 100
+        sim.run()
+        assert served == [pytest.approx(1.0)]
+
+    def test_same_instant_higher_priority_queues_behind_idle_head(self):
+        # The transfer that found the pipe idle starts first (exactly as a
+        # synchronous start would have); a same-instant dispersal preempts
+        # only the queue, not the head.
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+        pipe.submit(10, Priority.RETRIEVAL, lambda: done.append("head"), rank=5.0)
+        pipe.submit(10, Priority.DISPERSAL, lambda: done.append("dispersal"))
+        sim.run()
+        assert done == ["head", "dispersal"]
+
+
+class TestBatchedDrain:
+    def test_unlimited_pipe_drains_backlog_in_one_event(self):
+        sim = Simulator()
+        pipe = Pipe(sim, ConstantBandwidth(None))
+        done = []
+        for label in ("a", "b", "c"):
+            pipe.submit(1_000, Priority.DISPERSAL, lambda label=label: done.append(label))
+        sim.run()
+        assert done == ["a", "b", "c"]
+        assert pipe.bytes_transferred == 3_000
+        # The batched drain still counts one semantic event per transfer.
+        assert sim.processed_events == 3
+
+    def test_zero_size_transfers_complete_at_current_instant(self):
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+        pipe.submit(0, Priority.DISPERSAL, lambda: done.append(sim.now))
+        pipe.submit(0, Priority.DISPERSAL, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.0, 0.0]
+
+    def test_abort_accounting_under_batched_drain(self):
+        # ``bytes_aborted`` must cover entries dropped from both the FIFO and
+        # the ranked queues, including consecutive drops inside one drain.
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+        cancelled = {"flag": False}
+
+        def abort():
+            return cancelled["flag"]
+        pipe.submit(10, Priority.DISPERSAL, lambda: done.append("head"))
+        pipe.submit(20, Priority.DISPERSAL, lambda: done.append("x"), abort=abort)
+        pipe.submit(30, Priority.DISPERSAL, lambda: done.append("y"), abort=abort)
+        pipe.submit(40, Priority.RETRIEVAL, lambda: done.append("z"), rank=2.0, abort=abort)
+        pipe.submit(50, Priority.RETRIEVAL, lambda: done.append("kept"), rank=3.0)
+        cancelled["flag"] = True
+        sim.run()
+        assert done == ["head", "kept"]
+        assert pipe.bytes_aborted == 20 + 30 + 40
+        assert pipe.bytes_transferred == 10 + 50
+
+    def test_aborted_idle_head_does_not_block_queue(self):
+        # The idle-head transfer itself can be aborted before the kick runs;
+        # the rest of the backlog must still be served.
+        sim, pipe = make_pipe(rate=100.0)
+        done = []
+        cancelled = {"flag": True}
+        pipe.submit(
+            100, Priority.DISPERSAL, lambda: done.append("head"),
+            abort=lambda: cancelled["flag"],
+        )
+        pipe.submit(10, Priority.DISPERSAL, lambda: done.append("next"))
+        sim.run()
+        assert done == ["next"]
+        assert pipe.bytes_aborted == 100
+        assert sim.now == pytest.approx(0.1)
+
+
 class TestAccounting:
     def test_bytes_and_busy_time(self):
         sim, pipe = make_pipe(rate=100.0)
@@ -99,7 +215,11 @@ class TestAccounting:
         sim, pipe = make_pipe(rate=1.0)
         pipe.submit(10, Priority.DISPERSAL, lambda: None)
         pipe.submit(20, Priority.RETRIEVAL, lambda: None)
-        assert pipe.queued_bytes == 20  # the first transfer is in flight
+        # Serving starts via the simulator, not in the submitting frame: both
+        # transfers are queued until the scheduler runs the pipe.
+        assert pipe.queued_bytes == 30
+        sim.run(until=0.0)
+        assert pipe.queued_bytes == 20  # the first transfer is now in flight
 
     def test_negative_size_rejected(self):
         _, pipe = make_pipe()

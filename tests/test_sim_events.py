@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.events import Simulator
+from repro.sim.events import InternalCallback, Simulator
 
 
 class TestScheduling:
@@ -96,3 +96,101 @@ class TestRunLimits:
         sim.run(until=2.0)
         sim.run()
         assert fired == ["a", "b"]
+
+
+class TestCancellation:
+    def test_cancelled_timer_never_fires(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_event(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        assert event.cancel() is True
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_cancel_is_o1_and_lazy(self):
+        sim = Simulator()
+        event = sim.schedule_event(5.0, lambda: None)
+        event.cancel()
+        # Lazy deletion: the dead entry stays in the heap but is not pending.
+        assert sim.pending_events == 0
+        assert sim.run() == 0.0  # nothing executes, clock does not advance
+
+    def test_cancelling_twice_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule_event(1.0, lambda: None)
+        assert event.cancel() is True
+        assert event.cancel() is False
+        assert event.cancelled
+
+    def test_cancelling_executed_event_is_noop(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_event(1.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+        assert event.cancelled  # executing retires the handle
+        assert event.cancel() is False
+        assert sim.processed_events == 1
+
+    def test_cancelled_events_do_not_count_as_processed(self):
+        sim = Simulator()
+        events = [sim.schedule_event(float(i), lambda: None) for i in range(5)]
+        events[1].cancel()
+        events[3].cancel()
+        sim.run()
+        assert sim.processed_events == 3
+
+    def test_pending_events_excludes_lazily_deleted_entries(self):
+        sim = Simulator()
+        events = [sim.schedule_event(float(i + 1), lambda: None) for i in range(4)]
+        sim.schedule(10.0, lambda: None)
+        assert sim.pending_events == 5
+        events[0].cancel()
+        events[2].cancel()
+        assert sim.pending_events == 3
+
+    def test_cancel_from_inside_an_event(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule_event(2.0, lambda: fired.append("later"))
+        sim.schedule(1.0, later.cancel)
+        sim.schedule(3.0, lambda: fired.append("end"))
+        sim.run()
+        assert fired == ["end"]
+
+    def test_mass_cancellation_compacts_and_survivors_fire(self):
+        # Enough cancellations to cross the lazy-deletion compaction
+        # threshold; the surviving events still run in order.
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule_event(1.0 + i, lambda: fired.append("dead")) for i in range(500)]
+        sim.schedule_event(1000.0, lambda: fired.append("a"))
+        sim.schedule_event(1001.0, lambda: fired.append("b"))
+        for event in doomed:
+            event.cancel()
+        assert sim.pending_events == 2
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.now == 1001.0
+
+    def test_schedule_event_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_event(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_event_at(1.0, lambda: None)
+
+
+class TestInternalCallbacks:
+    def test_internal_callbacks_run_in_order_but_are_not_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("before"))
+        sim.schedule_internal(1.0, InternalCallback(lambda: fired.append("internal")))
+        sim.schedule(1.0, lambda: fired.append("after"))
+        sim.run()
+        assert fired == ["before", "internal", "after"]
+        assert sim.processed_events == 2  # the internal hand-off is not counted
