@@ -1,0 +1,125 @@
+"""Adversary-scenario report: simulator cost and protocol impact of faults.
+
+Runs a pinned fault matrix through the scenario engine — the same n = 7
+cluster under no faults, crashes, censorship and equivocation — and appends
+events-per-second plus the adversary-facing summary metrics to
+``benchmarks/BENCH_adversary.json``, so the perf trajectory also covers the
+Byzantine paths (node-class adversaries rebuild the node and run extra
+protocol logic; a regression there is invisible to the fault-free reports).
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_adversary_report.py
+
+The report also re-asserts the behavioural invariants the suite pins
+(equivocation detected in epoch 1, censored blocks still delivered), so a
+smoke pass in CI fails loudly if an optimisation breaks the adversary paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.adversary.registry import AdversarySpec
+from repro.core.config import NodeConfig
+from repro.experiments.engine import sweep
+from repro.experiments.runner import WorkloadSpec
+from repro.experiments.scenario import BandwidthSpec, ScenarioSpec, TopologySpec
+from repro.workload.traces import MB
+
+OUTPUT_PATH = Path(__file__).parent / "BENCH_adversary.json"
+
+#: The pinned matrix base: the `latency-fault-matrix` cluster shape.
+BASE = ScenarioSpec(
+    name="bench-adversary",
+    protocol="dl",
+    topology=TopologySpec(kind="uniform", num_nodes=7, delay=0.05),
+    bandwidth=BandwidthSpec(kind="constant", rate=5 * MB),
+    workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=1_000_000.0),
+    node=NodeConfig(max_block_size=500_000),
+    duration=10.0,
+)
+FAULTS = (
+    {"adversary.kind": "none", "adversary.count": 0},
+    {"adversary.kind": "crash", "adversary.count": 2},
+    {"adversary.kind": "censor", "adversary.count": 2},
+    {"adversary.kind": "equivocate", "adversary.count": 1},
+)
+
+
+def run_report(base: ScenarioSpec = BASE) -> dict:
+    started = time.perf_counter()
+    result = sweep(base, {"faults": FAULTS}, parallel=False)
+    seconds = time.perf_counter() - started
+    summaries = result.summaries()
+
+    by_kind = {s.get("adversary_kind", "none"): s for s in summaries}
+    if by_kind["equivocate"]["equivocation_detected_epoch"] != 1:
+        raise RuntimeError("equivocation no longer detected in its first epoch")
+    if by_kind["censor"]["victim_commit_p50"] is None:
+        raise RuntimeError("censored victim's transactions no longer commit")
+    if by_kind["crash"]["delivered_epochs"] < 1:
+        raise RuntimeError("honest nodes lost liveness under f crashes")
+
+    events = result.events_processed
+    return {
+        "workload": {
+            "scenario": base.name,
+            "points": len(result.points),
+            "num_nodes": base.topology.num_nodes,
+            "duration": base.duration,
+        },
+        "cpus": os.cpu_count() or 1,
+        "events_processed": events,
+        "wall_clock_seconds": seconds,
+        "events_per_second": events / seconds,
+        "per_fault": {
+            kind: {
+                "mean_throughput": s["mean_throughput"],
+                "mean_p50_latency": s["mean_p50_latency"],
+                "delivered_epochs": s["delivered_epochs"],
+                "events_processed": s["events_processed"],
+            }
+            for kind, s in by_kind.items()
+        },
+        "victim_commit_p50": by_kind["censor"]["victim_commit_p50"],
+        "victim_inclusion_delay": by_kind["censor"]["victim_inclusion_delay"],
+        "bad_uploader_deliveries": by_kind["equivocate"]["bad_uploader_deliveries"],
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description="Adversary-scenario report")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced matrix for CI (shorter duration); no JSON append",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        entry = run_report(replace(BASE, duration=3.0))
+    else:
+        entry = run_report()
+        history: list[dict] = []
+        if OUTPUT_PATH.exists():
+            history = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
+        history.append(entry)
+        OUTPUT_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+        print(f"appended entry #{len(history)} to {OUTPUT_PATH}")
+    throughputs = {
+        kind: f"{stats['mean_throughput']:,.0f} B/s"
+        for kind, stats in entry["per_fault"].items()
+    }
+    print(
+        f"{entry['workload']['points']}-point fault matrix in "
+        f"{entry['wall_clock_seconds']:.2f}s "
+        f"({entry['events_per_second']:,.0f} events/s); throughput {throughputs}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,11 @@ nodes out of ``N >= 3f + 1``.  This package provides concrete adversaries:
   message loss in tests.
 * :class:`AdversarySpec` + the :func:`register_adversary` registry — the
   declarative placement layer the scenario engine uses to drop any of the
-  above into a simulated run (``repro.experiments.scenario``).
+  above into a simulated run (``repro.experiments.scenario``).  All four
+  built-in kinds (``crash``, ``crash-after``, ``censor``, ``equivocate``)
+  run on the bandwidth-accurate simulator; the node-class kinds are rebuilt
+  from the honest node via :func:`rebuild_node`, carrying behaviour
+  parameters (``victim``, ``split``) from the spec.
 """
 
 from repro.adversary.censor import CensoringNode
@@ -31,6 +35,7 @@ from repro.adversary.registry import (
     ADVERSARIES,
     AdversarySpec,
     get_adversary,
+    rebuild_node,
     register_adversary,
 )
 
@@ -44,6 +49,7 @@ __all__ = [
     "drop_messages_between",
     "drop_messages_from",
     "get_adversary",
+    "rebuild_node",
     "register_adversary",
     "send_inconsistent_dispersal",
 ]

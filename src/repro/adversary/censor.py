@@ -11,6 +11,7 @@ victim's dispersed blocks are still delivered, at worst one epoch late.
 
 from __future__ import annotations
 
+from repro.common.errors import ConfigurationError
 from repro.common.ids import VIDInstanceId
 from repro.core.block import Block
 from repro.core.node import DispersedLedgerNode
@@ -21,6 +22,10 @@ class CensoringNode(DispersedLedgerNode):
 
     def __init__(self, *args, victim: int = 0, **kwargs):
         super().__init__(*args, **kwargs)
+        if not 0 <= victim < self.params.n:
+            raise ConfigurationError(
+                f"censor victim {victim} out of range for n={self.params.n}"
+            )
         self.victim = victim
 
     def _on_vid_complete(self, instance: VIDInstanceId) -> None:

@@ -266,10 +266,19 @@ class BFTNodeBase:
         block = self._make_block(epoch)
         state.own_block = block
         state.proposed_at = self.ctx.now
-        vid = self._get_vid(VIDInstanceId(epoch=epoch, proposer=self.node_id))
-        vid.disperse(self._payload_for(block))
+        self._disperse_block(epoch, block)
         if self.on_propose is not None:
             self.on_propose(self.node_id, block, self.ctx.now)
+
+    def _disperse_block(self, epoch: int, block: Block) -> None:
+        """Hand this epoch's block to our VID slot.
+
+        Byzantine node classes override just this step (e.g. the equivocating
+        disperser sends inconsistent chunks instead) while inheriting the
+        Nagle bookkeeping of :meth:`_begin_dispersal` unchanged.
+        """
+        vid = self._get_vid(VIDInstanceId(epoch=epoch, proposer=self.node_id))
+        vid.disperse(self._payload_for(block))
 
     def _make_block(self, epoch: int) -> Block:
         """Assemble the block to propose for ``epoch``."""

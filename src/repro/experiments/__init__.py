@@ -36,8 +36,13 @@ Headline (S1)        :func:`repro.experiments.summary.run_headline_summary`
 Beyond the paper, the catalog grows scenario coverage with bandwidth churn
 (``bandwidth-flapping``), heavy-tailed stragglers (``straggler-hetero``),
 crash-fault mixes (``adversary-crash-mix``), mid-run churn
-(``mid-run-crash``) and non-stationary workloads (``bursty-load``); see
-``docs/scenarios.md``.
+(``mid-run-crash``), non-stationary workloads (``bursty-load``) and
+Byzantine node-class adversaries on the timed simulator (``censor-victim``,
+``equivocate-split``, ``latency-fault-matrix``); see ``docs/scenarios.md``.
+``run``/``show`` also take a path to a spec file (curated ones under
+``scenarios/``), and every catalog scenario is pinned bit-for-bit by the
+golden-summary suite (:mod:`repro.experiments.golden`, snapshots in
+``tests/golden/``).
 
 The benchmark scripts under ``benchmarks/`` call these runners with reduced
 default durations so that ``pytest benchmarks/ --benchmark-only`` completes
@@ -58,7 +63,9 @@ from repro.experiments.engine import (
     run_scenario,
     sweep,
 )
+from repro.experiments.cli import load_spec_file
 from repro.experiments.fig02 import measure_avid_m_dispersal_cost, vid_cost_curve
+from repro.experiments.golden import canonical_json, golden_names, golden_payload
 from repro.experiments.geo import progress_timelines, run_geo_throughput, run_vultr_throughput
 from repro.experiments.latency import run_latency_metric_comparison, run_latency_sweep
 from repro.experiments.runner import (
@@ -101,10 +108,14 @@ __all__ = [
     "apply_override",
     "apply_overrides",
     "build_network_config",
+    "canonical_json",
     "expand_grid",
     "get_scenario",
+    "golden_names",
+    "golden_payload",
     "headline_from_results",
     "list_scenarios",
+    "load_spec_file",
     "measure_avid_m_dispersal_cost",
     "model_sweep",
     "progress_timelines",

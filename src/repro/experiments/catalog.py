@@ -11,7 +11,9 @@ base spec for longer, smoother measurements.
 The paper-figure entries (``fig02``, ``fig08-geo``, …) mirror the dedicated
 figure modules; the remaining entries grow scenario coverage beyond the
 paper: bandwidth churn, heavy-tailed stragglers, crash-fault mixes, mid-run
-churn and non-stationary workloads.  Register new entries with
+churn, non-stationary workloads, and Byzantine node-class adversaries on
+the timed simulator (``censor-victim``, ``equivocate-split``,
+``latency-fault-matrix``).  Register new entries with
 :func:`register_scenario`.
 """
 
@@ -323,6 +325,99 @@ register_scenario(
         ),
         grid={"protocol": ("dl", "hb")},
         columns=_SIM_COLUMNS,
+    )
+)
+
+register_scenario(
+    NamedScenario(
+        name="censor-victim",
+        description="Censorship: up to f of 7 nodes vote 0 on node 0's slot; linking delivers it anyway",
+        base=ScenarioSpec(
+            name="censor-victim",
+            topology=TopologySpec(kind="uniform", num_nodes=7, delay=0.05),
+            bandwidth=BandwidthSpec(kind="constant", rate=5 * MB),
+            adversary=AdversarySpec(kind="censor", count=2, victim=0),
+            workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=1_000_000.0),
+            node=NodeConfig(max_block_size=500_000),
+            duration=20.0,
+        ),
+        grid={
+            "censors": (
+                {"adversary.kind": "none", "adversary.count": 0},
+                {"adversary.kind": "censor", "adversary.count": 1},
+                {"adversary.kind": "censor", "adversary.count": 2},
+            ),
+        },
+        columns=(
+            "label",
+            "protocol",
+            "mean_throughput",
+            "mean_p50_latency",
+            "victim_commit_p50",
+            "victim_inclusion_delay",
+            "victim_linked_fraction",
+            "delivered_epochs",
+        ),
+    )
+)
+
+register_scenario(
+    NamedScenario(
+        name="equivocate-split",
+        description="Equivocating disperser on the real data plane, split point swept across chunks",
+        base=ScenarioSpec(
+            name="equivocate-split",
+            topology=TopologySpec(kind="uniform", num_nodes=4, delay=0.05),
+            bandwidth=BandwidthSpec(kind="constant", rate=3 * MB),
+            adversary=AdversarySpec(kind="equivocate", count=1),
+            workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=300_000.0),
+            node=NodeConfig(data_plane="real", max_block_size=100_000),
+            duration=20.0,
+        ),
+        grid={"adversary.split": (1, 2, 3)},
+        columns=(
+            "label",
+            "protocol",
+            "mean_throughput",
+            "mean_p50_latency",
+            "equivocation_detected_epoch",
+            "bad_uploader_deliveries",
+            "delivered_epochs",
+        ),
+    )
+)
+
+register_scenario(
+    NamedScenario(
+        name="latency-fault-matrix",
+        description="Tail latency under faults: poisson load x fault kind x fault count (n=7)",
+        base=ScenarioSpec(
+            name="latency-fault-matrix",
+            topology=TopologySpec(kind="uniform", num_nodes=7, delay=0.05),
+            bandwidth=BandwidthSpec(kind="constant", rate=5 * MB),
+            workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=500_000.0),
+            node=NodeConfig(max_block_size=500_000),
+            duration=20.0,
+        ),
+        grid={
+            "workload.rate_bytes_per_second": (500_000.0, 1_500_000.0),
+            "faults": (
+                {"adversary.kind": "none", "adversary.count": 0},
+                {"adversary.kind": "crash", "adversary.count": 1},
+                {"adversary.kind": "crash", "adversary.count": 2},
+                {"adversary.kind": "crash-after", "adversary.count": 2,
+                 "adversary.crash_time": 10.0},
+                {"adversary.kind": "censor", "adversary.count": 2},
+                {"adversary.kind": "equivocate", "adversary.count": 1},
+            ),
+        },
+        columns=(
+            "label",
+            "mean_throughput",
+            "mean_p50_latency",
+            "adversary_kind",
+            "delivered_epochs",
+        ),
     )
 )
 

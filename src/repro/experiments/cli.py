@@ -7,6 +7,14 @@
     python -m repro.experiments run fig08-geo --duration 30 --seed 1
     python -m repro.experiments run straggler-hetero --grid seed=0,1,2 --json
     python -m repro.experiments run bandwidth-flapping --set bandwidth.count=4 --serial
+    python -m repro.experiments run scenarios/censor-victim.json
+
+``run`` and ``show`` accept either a catalog name or a path to a scenario
+spec file (anything ending in ``.json`` or containing a path separator):
+the file is parsed with :meth:`ScenarioSpec.from_json` and runs exactly like
+a catalog entry with no grid — ``--set``/``--grid``/``--duration``/``--seed``
+compose on top.  A malformed file produces a one-line error and exit status
+2, never a traceback.  Curated spec files live in ``scenarios/``.
 
 ``run`` expands the named scenario's grid (extended by any ``--grid`` axes),
 runs every point — in parallel across processes by default — and prints the
@@ -19,13 +27,55 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import replace
 from typing import Any, Sequence
 
+from repro.common.errors import ConfigurationError
 from repro.experiments.catalog import NamedScenario, get_scenario, list_scenarios
 from repro.experiments.engine import SweepResult, sweep
-from repro.experiments.scenario import apply_override
+from repro.experiments.scenario import ScenarioSpec, apply_override
+
+
+class SpecFileError(Exception):
+    """A scenario spec file could not be loaded (reported without traceback)."""
+
+
+def _is_spec_path(name: str) -> bool:
+    """Catalog names never contain path separators or a .json suffix.
+
+    Deliberately *not* ``os.path.isfile``: a stray file in the working
+    directory must never shadow a same-named catalog entry.
+    """
+    return name.endswith(".json") or os.sep in name
+
+
+def resolve_entry(name: str) -> NamedScenario:
+    """A catalog entry by name, or a spec file by path (see :func:`_is_spec_path`)."""
+    if _is_spec_path(name):
+        return load_spec_file(name)
+    return get_scenario(name)
+
+
+def load_spec_file(path: str) -> NamedScenario:
+    """Load a scenario spec file as an ad-hoc, grid-less catalog entry."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise SpecFileError(f"cannot read spec file {path!r}: {exc}") from exc
+    try:
+        spec = ScenarioSpec.from_json(text)
+    except json.JSONDecodeError as exc:
+        raise SpecFileError(f"spec file {path!r} is not valid JSON: {exc}") from exc
+    except (TypeError, ValueError, ConfigurationError) as exc:
+        # TypeError: unknown field names; ConfigurationError/ValueError:
+        # values that fail a spec's validation.
+        raise SpecFileError(f"spec file {path!r} is not a valid scenario: {exc}") from exc
+    return NamedScenario(
+        name=spec.name, description=f"spec file {path}", base=spec
+    )
 
 
 def _parse_value(text: str) -> Any:
@@ -97,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _resolve(args: argparse.Namespace) -> tuple[NamedScenario, Any, dict[str, tuple]]:
-    entry = get_scenario(args.scenario)
+    entry = resolve_entry(args.scenario)
     base = entry.base
     if args.duration is not None:
         base = replace(base, duration=args.duration)
@@ -147,19 +197,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{entry.name:<22} {entry.num_points():>2} point(s){figure}  {entry.description}")
         return 0
 
-    if args.command == "show":
-        entry = get_scenario(args.scenario)
-        payload = {
-            "name": entry.name,
-            "description": entry.description,
-            "figure": entry.figure,
-            "base": entry.base.to_dict(),
-            "grid": {key: list(values) for key, values in (entry.grid or {}).items()},
-        }
-        print(json.dumps(payload, indent=2))
-        return 0
+    try:
+        if args.command == "show":
+            entry = resolve_entry(args.scenario)
+            payload = {
+                "name": entry.name,
+                "description": entry.description,
+                "figure": entry.figure,
+                "base": entry.base.to_dict(),
+                "grid": {key: list(values) for key, values in (entry.grid or {}).items()},
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
 
-    entry, base, grid = _resolve(args)
+        entry, base, grid = _resolve(args)
+    except SpecFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = sweep(
         base,
         grid or None,

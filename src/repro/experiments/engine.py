@@ -93,6 +93,9 @@ class ScenarioResult:
                 "events_processed": result.events_processed,
             }
         )
+        # Adversary-facing metrics (see ExperimentResult.adversary_metrics)
+        # join the flat schema so fault sweeps can put them in table columns.
+        base.update(result.adversary_metrics)
         return base
 
 

@@ -1,0 +1,138 @@
+"""Golden-summary snapshots: pin every catalog scenario's summary bit-for-bit.
+
+The engine's summaries are pure functions of their spec (every stochastic
+input derives from ``seed``), so a summary can be snapshotted once and
+diffed exactly — the regression net that lets perf PRs (event-loop or pipe
+rewrites, codec changes) prove behaviour is pinned.  The harness here is
+shared by the pytest suite (``tests/test_golden_summaries.py``, snapshots
+under ``tests/golden/``) and by ``pytest --update-golden`` regeneration.
+
+Golden runs are the catalog entries at *pinned short durations* (seconds of
+virtual time, so the whole suite stays inside a test budget) with the most
+expensive axes trimmed; :data:`GOLDEN_CONFIGS` is the single place those
+pins live, and the pinned configuration is embedded in each snapshot so a
+change to the pins shows up in the snapshot diff too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.experiments.catalog import get_scenario, list_scenarios
+from repro.experiments.engine import run_points
+from repro.experiments.scenario import apply_overrides, expand_grid
+
+#: Default virtual duration of a golden run.
+GOLDEN_DURATION = 3.0
+
+
+@dataclass(frozen=True)
+class GoldenConfig:
+    """How one catalog scenario is pinned for its golden snapshot.
+
+    Attributes:
+        duration: virtual seconds per point (short by design).
+        overrides: dotted-path overrides applied to the base spec, used to
+            move mid-run events (crash times, warmups) inside the shortened
+            window.
+        grid: replacement sweep axes; ``None`` keeps the catalog grid.  Used
+            to keep the most expensive axes (N = 32 clusters, wide load
+            sweeps) out of the per-commit regression loop — the trimmed axes
+            are still exercised by the benchmarks.
+    """
+
+    duration: float = GOLDEN_DURATION
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    grid: Mapping[str, tuple] | None = None
+
+
+GOLDEN_CONFIGS: dict[str, GoldenConfig] = {
+    # vid-cost is analytic plus one measured dispersal; duration is unused.
+    "fig02-vid-cost": GoldenConfig(),
+    "fig08-geo": GoldenConfig(duration=2.5),
+    "fig10-latency": GoldenConfig(
+        duration=2.5,
+        grid={
+            "protocol": ("dl", "hb"),
+            "workload.rate_bytes_per_second": (1_000_000.0,),
+        },
+    ),
+    "fig11a-spatial": GoldenConfig(duration=2.5, grid={"protocol": ("dl", "hb")}),
+    "fig11b-temporal": GoldenConfig(
+        duration=2.5,
+        grid={
+            "protocol": ("dl",),
+            "trace": (
+                {"bandwidth.kind": "constant"},
+                {"bandwidth.kind": "gauss-markov"},
+            ),
+        },
+    ),
+    "fig12-scalability": GoldenConfig(
+        duration=2.5,
+        grid={
+            "topology.num_nodes": (16,),
+            "block": (
+                {"node.max_block_size": 500_000, "node.nagle_size": 500_000},
+                {"node.max_block_size": 1_000_000, "node.nagle_size": 1_000_000},
+            ),
+        },
+    ),
+    "fig15-vultr": GoldenConfig(duration=2.5, grid={"protocol": ("dl", "hb")}),
+    "straggler-hetero": GoldenConfig(duration=2.5, grid={"protocol": ("dl", "hb")}),
+    "mid-run-crash": GoldenConfig(overrides={"adversary.crash_time": 1.5}),
+    "bursty-load": GoldenConfig(duration=4.0, overrides={"warmup": 1.0}),
+    "latency-fault-matrix": GoldenConfig(
+        grid={
+            "workload.rate_bytes_per_second": (500_000.0,),
+            "faults": (
+                {"adversary.kind": "none", "adversary.count": 0},
+                {"adversary.kind": "crash", "adversary.count": 1},
+                {"adversary.kind": "crash", "adversary.count": 2},
+                {"adversary.kind": "crash-after", "adversary.count": 2,
+                 "adversary.crash_time": 1.5},
+                {"adversary.kind": "censor", "adversary.count": 2},
+                {"adversary.kind": "equivocate", "adversary.count": 1},
+            ),
+        },
+    ),
+}
+
+
+def golden_names() -> list[str]:
+    """Every scenario with a golden snapshot: the whole catalog, sorted."""
+    return [entry.name for entry in list_scenarios()]
+
+
+def golden_points(name: str):
+    """The pinned ``(overrides, spec)`` grid points for one scenario."""
+    entry = get_scenario(name)
+    config = GOLDEN_CONFIGS.get(name, GoldenConfig())
+    # Overrides first: a shortened duration may only be valid once e.g. the
+    # warmup override has moved inside the new window.
+    base = apply_overrides(entry.base, dict(config.overrides))
+    base = replace(base, duration=config.duration)
+    grid = dict(entry.grid or {}) if config.grid is None else dict(config.grid)
+    return config, base, expand_grid(base, grid)
+
+
+def golden_payload(name: str) -> dict[str, Any]:
+    """Run one scenario's pinned points (serially) and collect the snapshot."""
+    config, base, points = golden_points(name)
+    results, _ = run_points(points, parallel=False)
+    return {
+        "scenario": name,
+        "golden": {
+            "duration": config.duration,
+            "overrides": dict(config.overrides),
+            "points": len(points),
+        },
+        "summaries": [result.summary() for result in results],
+    }
+
+
+def canonical_json(payload: Any) -> str:
+    """The byte-stable serialisation the golden files are stored in."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

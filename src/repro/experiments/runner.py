@@ -77,7 +77,10 @@ class WorkloadSpec:
 
     For all Poisson-family workloads ``rate_bytes_per_second`` is the mean
     *per-node* offered load.  ``period``, ``duty`` and ``amplitude`` only
-    apply to the modulated kinds.
+    apply to the modulated kinds.  ``stop_after`` cuts the client load at
+    that virtual time (``None`` = offered for the whole run), which lets
+    drain-phase scenarios measure how long in-flight transactions take to
+    clear.
     """
 
     kind: str = "saturating"
@@ -87,12 +90,15 @@ class WorkloadSpec:
     period: float = 20.0
     duty: float = 0.25
     amplitude: float = 0.8
+    stop_after: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in WORKLOADS:
             raise ValueError(
                 f"unknown workload kind {self.kind!r}; registered: {sorted(WORKLOADS)}"
             )
+        if self.stop_after is not None and self.stop_after <= 0:
+            raise ValueError("stop_after must be positive (or None)")
 
 
 #: ``factory(sim, node, spec, seed) -> generator`` — builds the per-node load
@@ -113,7 +119,11 @@ def _per_node_seed(seed: int, node: BFTNodeBase) -> int:
 
 def _saturating(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
     return SaturatingTransactionGenerator(
-        sim, node, target_pending_bytes=spec.target_pending_bytes, tx_size=spec.tx_size
+        sim,
+        node,
+        target_pending_bytes=spec.target_pending_bytes,
+        tx_size=spec.tx_size,
+        stop_at=spec.stop_after,
     )
 
 
@@ -124,6 +134,7 @@ def _poisson(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
         rate_bytes_per_second=spec.rate_bytes_per_second,
         tx_size=spec.tx_size,
         seed=_per_node_seed(seed, node),
+        stop_at=spec.stop_after,
     )
 
 
@@ -132,7 +143,12 @@ def _bursty(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
         spec.rate_bytes_per_second, period=spec.period, duty=spec.duty
     )
     return ModulatedPoissonTransactionGenerator(
-        sim, node, profile, tx_size=spec.tx_size, seed=_per_node_seed(seed, node)
+        sim,
+        node,
+        profile,
+        tx_size=spec.tx_size,
+        seed=_per_node_seed(seed, node),
+        stop_at=spec.stop_after,
     )
 
 
@@ -141,7 +157,12 @@ def _diurnal(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
         spec.rate_bytes_per_second, period=spec.period, amplitude=spec.amplitude
     )
     return ModulatedPoissonTransactionGenerator(
-        sim, node, profile, tx_size=spec.tx_size, seed=_per_node_seed(seed, node)
+        sim,
+        node,
+        profile,
+        tx_size=spec.tx_size,
+        seed=_per_node_seed(seed, node),
+        stop_at=spec.stop_after,
     )
 
 
@@ -176,6 +197,16 @@ class ExperimentResult:
     mean_block_size: float
     #: Number of simulator events processed (performance accounting).
     events_processed: int = 0
+    #: Adversary-facing measurements (empty when no adversary was placed):
+    #: ``adversary_kind`` / ``adversary_nodes`` always, plus per-kind keys —
+    #: censor: ``victim``, ``victim_commit_p50`` (median confirmation latency
+    #: of the victim's own transactions), ``victim_inclusion_delay`` (mean
+    #: epochs between a victim block's epoch and the epoch whose retrieval
+    #: phase delivered it) and ``victim_linked_fraction`` (share of the
+    #: victim's blocks that needed inter-node linking); equivocate:
+    #: ``equivocation_detected_epoch`` (first epoch an honest node delivered
+    #: the ``BAD_UPLOADER`` placeholder) and ``bad_uploader_deliveries``.
+    adversary_metrics: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -263,9 +294,12 @@ def run_experiment(
             (ramp-up of the first epochs).
         adversary: which nodes misbehave and how (defaults to none).  The
             placed nodes are replaced on the wire by the registered faulty
-            process; their per-node metrics (zero throughput for silent
-            nodes) stay in the result so summaries remain index-aligned with
-            the cluster.
+            process; when the factory returns a full node (the node-class
+            adversaries ``censor`` and ``equivocate``), the replacement also
+            takes the honest node's place in the cluster, so it receives the
+            client workload and its epoch frontiers feed the result.
+            Per-node metrics (zero throughput for silent nodes) stay in the
+            result so summaries remain index-aligned with the cluster.
     """
     workload = workload or WorkloadSpec()
     node_config = node_config or NodeConfig()
@@ -283,11 +317,15 @@ def run_experiment(
     nodes = build_nodes(protocol, params, network, node_config, collector)
 
     silent: frozenset[int] = frozenset()
+    placement: tuple[int, ...] = ()
     if adversary is not None and adversary.kind != "none":
         factory = get_adversary(adversary.kind)
         placement = adversary.placement(params.n)
         for node_id in placement:
-            network.attach(node_id, factory(nodes[node_id], sim, adversary))
+            replacement = factory(nodes[node_id], sim, adversary)
+            network.attach(node_id, replacement)
+            if isinstance(replacement, BFTNodeBase):
+                nodes[node_id] = replacement
         if adversary.silent_from_start:
             silent = frozenset(placement)
 
@@ -306,6 +344,9 @@ def run_experiment(
         size for metrics in collector.per_node for size in metrics.proposed_block_sizes
     ]
     mean_block_size = sum(block_sizes) / len(block_sizes) if block_sizes else 0.0
+    adversary_metrics: dict = {}
+    if adversary is not None and adversary.kind != "none":
+        adversary_metrics = _adversary_metrics(adversary, placement, nodes, collector)
     return ExperimentResult(
         protocol=protocol,
         num_nodes=params.n,
@@ -319,7 +360,63 @@ def run_experiment(
         current_epochs=[node.current_epoch for node in nodes],
         mean_block_size=mean_block_size,
         events_processed=sim.processed_events,
+        adversary_metrics=adversary_metrics,
     )
+
+
+def _adversary_metrics(
+    adversary: AdversarySpec,
+    placement: tuple[int, ...],
+    nodes: Sequence[BFTNodeBase],
+    collector: MetricsCollector,
+) -> dict:
+    """Summarise how the cluster fared *against* the placed adversary.
+
+    Everything here derives from virtual time and honest-node ledgers, so
+    the values are deterministic and safe for the golden-summary snapshots.
+    """
+    adversarial = set(placement)
+    honest = [node for node in nodes if node.node_id not in adversarial]
+    metrics: dict = {
+        "adversary_kind": adversary.kind,
+        "adversary_nodes": list(placement),
+    }
+    if adversary.kind == "censor":
+        victim = adversary.victim
+        latency = collector.per_node[victim].latency_summary(local_only=True)
+        delays: list[int] = []
+        linked = 0
+        for node in honest:
+            for entry in node.ledger.entries:
+                if entry.proposer != victim:
+                    continue
+                delays.append(entry.delivered_in_epoch - entry.epoch)
+                if entry.via_linking:
+                    linked += 1
+        metrics.update(
+            {
+                "victim": victim,
+                "victim_commit_p50": None if latency is None else latency.p50,
+                "victim_inclusion_delay": (
+                    sum(delays) / len(delays) if delays else None
+                ),
+                "victim_linked_fraction": linked / len(delays) if delays else None,
+            }
+        )
+    if adversary.kind == "equivocate":
+        bad_epochs = [
+            entry.epoch
+            for node in honest
+            for entry in node.ledger.entries
+            if entry.proposer in adversarial and entry.block.label == "BAD_UPLOADER"
+        ]
+        metrics.update(
+            {
+                "equivocation_detected_epoch": min(bad_epochs, default=None),
+                "bad_uploader_deliveries": len(bad_epochs),
+            }
+        )
+    return metrics
 
 
 def run_protocol_comparison(

@@ -155,15 +155,25 @@ _virtual_ids = itertools.count()
 
 @dataclass(frozen=True)
 class VirtualPayload:
-    """A stand-in for a block: an identity plus a declared byte size."""
+    """A stand-in for a block: an identity plus a declared byte size.
+
+    ``inconsistent`` marks the virtual counterpart of an equivocating
+    dispersal: the chunks carry the right sizes, but they are not the
+    encoding of any single payload, so :meth:`VirtualCodec.decode` reports
+    :data:`BAD_UPLOADER` exactly where the real codec's re-encode check
+    would (Fig. 4, step 4).
+    """
 
     payload_id: int
     size: int
     label: str = ""
+    inconsistent: bool = False
 
     @classmethod
-    def create(cls, size: int, label: str = "") -> "VirtualPayload":
-        return cls(payload_id=next(_virtual_ids), size=size, label=label)
+    def create(cls, size: int, label: str = "", inconsistent: bool = False) -> "VirtualPayload":
+        return cls(
+            payload_id=next(_virtual_ids), size=size, label=label, inconsistent=inconsistent
+        )
 
     def digest(self) -> bytes:
         return hashlib.sha256(f"virtual-{self.payload_id}-{self.size}".encode()).digest()
@@ -207,6 +217,10 @@ class VirtualCodec:
     def decode(self, root: bytes, chunks: dict[int, Chunk]) -> Any:
         for chunk in chunks.values():
             if chunk.payload_ref is not None:
+                if getattr(chunk.payload_ref, "inconsistent", False):
+                    # The virtual analogue of the re-encode check: these
+                    # chunks never were one payload's encoding.
+                    return BAD_UPLOADER
                 return chunk.payload_ref
         return BAD_UPLOADER
 

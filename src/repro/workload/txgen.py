@@ -210,6 +210,9 @@ class SaturatingTransactionGenerator:
     number of pending bytes.  Transactions are stamped with their submission
     time, so latency numbers from a saturating run are meaningless by design
     (the paper likewise only reports throughput for these runs).
+
+    ``stop_at`` stops refilling at that virtual time (``None`` = never), the
+    same drain-phase knob the Poisson generators offer.
     """
 
     def __init__(
@@ -219,6 +222,7 @@ class SaturatingTransactionGenerator:
         target_pending_bytes: int = 8_000_000,
         tx_size: int = DEFAULT_TX_SIZE,
         refill_interval: float = 0.05,
+        stop_at: float | None = None,
     ):
         if target_pending_bytes <= 0:
             raise ValueError("target_pending_bytes must be positive")
@@ -231,6 +235,7 @@ class SaturatingTransactionGenerator:
         self._target = target_pending_bytes
         self._tx_size = tx_size
         self._interval = refill_interval
+        self._stop_at = stop_at
         self._sequence = 0
         self.generated = 0
         self.generated_bytes = 0
@@ -241,6 +246,8 @@ class SaturatingTransactionGenerator:
 
     def _refill(self) -> None:
         now = self._sim.now
+        if self._stop_at is not None and now >= self._stop_at:
+            return
         missing = self._target - self._node.mempool.pending_bytes
         while missing > 0:
             self._sequence += 1

@@ -11,6 +11,22 @@ from repro.sim.context import NodeContext
 from repro.sim.instant import InstantNetwork
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/*.json snapshots from the current code "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should regenerate golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def params4() -> ProtocolParams:
     """The smallest Byzantine-tolerant cluster: N = 4, f = 1."""

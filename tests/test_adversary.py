@@ -1,8 +1,13 @@
 """Tests for the adversary toolkit itself."""
 
+import pytest
+
+from repro.adversary.censor import CensoringNode
 from repro.adversary.crash import CrashAfterNode, CrashedNode
-from repro.adversary.equivocator import send_inconsistent_dispersal
+from repro.adversary.equivocator import EquivocatingDisperserNode, send_inconsistent_dispersal
 from repro.adversary.filters import compose_filters, drop_messages_between, drop_messages_from
+from repro.adversary.registry import AdversarySpec, get_adversary, rebuild_node
+from repro.common.errors import ConfigurationError
 from repro.common.ids import VIDInstanceId
 from repro.common.params import ProtocolParams
 from repro.core.node import DispersedLedgerNode
@@ -86,8 +91,6 @@ class TestEquivocator:
         assert set(received_roots) == {root}
 
     def test_requires_equal_shard_sizes(self):
-        import pytest
-
         params = ProtocolParams.for_n(4)
         network = InstantNetwork(4)
         ctx = NodeContext(0, network, network)
@@ -95,3 +98,60 @@ class TestEquivocator:
             send_inconsistent_dispersal(
                 params, ctx, VIDInstanceId(epoch=1, proposer=0), b"short", b"much longer payload" * 10
             )
+
+
+class TestNodeClassFactories:
+    """The registry factories that rebuild honest nodes as Byzantine classes."""
+
+    def test_rebuild_node_preserves_identity_and_wiring(self, params4):
+        _, nodes = build_cluster(DispersedLedgerNode, params4, max_epochs=2)
+        honest = nodes[1]
+        rebuilt = rebuild_node(CensoringNode, honest, victim=0)
+        assert isinstance(rebuilt, CensoringNode)
+        assert rebuilt.node_id == honest.node_id
+        assert rebuilt.params is honest.params
+        assert rebuilt.ctx is honest.ctx
+        assert rebuilt.config is honest.config
+        assert rebuilt.coin is honest.coin
+        assert rebuilt.max_epochs == honest.max_epochs
+        assert rebuilt.victim == 0
+
+    def test_censor_factory_builds_censoring_node(self, params4):
+        _, nodes = build_cluster(DispersedLedgerNode, params4, max_epochs=2)
+        spec = AdversarySpec(kind="censor", count=1, victim=1)
+        replacement = get_adversary("censor")(nodes[3], None, spec)
+        assert isinstance(replacement, CensoringNode)
+        assert replacement.victim == 1
+
+    def test_censor_factory_rejects_bad_victims(self, params4):
+        _, nodes = build_cluster(DispersedLedgerNode, params4, max_epochs=2)
+        factory = get_adversary("censor")
+        with pytest.raises(ConfigurationError):
+            factory(nodes[3], None, AdversarySpec(kind="censor", count=1, victim=9))
+        # the victim may not be one of the adversarial nodes themselves
+        with pytest.raises(ConfigurationError):
+            factory(nodes[3], None, AdversarySpec(kind="censor", count=1, victim=3))
+
+    def test_equivocate_factory_builds_equivocator(self, params4):
+        _, nodes = build_cluster(DispersedLedgerNode, params4, max_epochs=2)
+        spec = AdversarySpec(kind="equivocate", count=1, split=2)
+        replacement = get_adversary("equivocate")(nodes[3], None, spec)
+        assert isinstance(replacement, EquivocatingDisperserNode)
+        assert replacement.split == 2
+
+    def test_equivocate_factory_rejects_out_of_range_split(self, params4):
+        _, nodes = build_cluster(DispersedLedgerNode, params4, max_epochs=2)
+        factory = get_adversary("equivocate")
+        with pytest.raises(ConfigurationError):
+            factory(nodes[3], None, AdversarySpec(kind="equivocate", count=1, split=4))
+
+    def test_censoring_node_rejects_out_of_range_victim(self, params4):
+        _, nodes = build_cluster(DispersedLedgerNode, params4, max_epochs=2)
+        with pytest.raises(ConfigurationError):
+            rebuild_node(CensoringNode, nodes[1], victim=7)
+
+    def test_all_four_kinds_registered(self):
+        for kind in ("crash", "crash-after", "censor", "equivocate"):
+            assert callable(get_adversary(kind))
+        with pytest.raises(ConfigurationError):
+            get_adversary("gremlin")

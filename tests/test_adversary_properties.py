@@ -1,0 +1,201 @@
+"""Property tests for adversary placement and equivocation consistency.
+
+Two invariants carry the scenario engine's Byzantine support:
+
+* :meth:`AdversarySpec.placement` is the single source of truth for *which*
+  nodes misbehave — count-based placement must stay at the top node ids,
+  explicit placement must be honoured exactly, and every invalid request
+  (overlap, out-of-range ids, too many adversaries) must raise
+  :class:`ConfigurationError` rather than silently mis-placing.
+* An equivocating dispersal must be *universally* inconsistent: whatever
+  ``N``/``K`` the cluster runs and wherever the split point lands, every
+  decodable chunk subset must fail AVID-M's re-encode check, so all correct
+  nodes agree on ``BAD_UPLOADER`` (Lemma B.8).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.registry import AdversarySpec
+from repro.common.errors import ConfigurationError
+from repro.common.ids import VIDInstanceId
+from repro.common.params import ProtocolParams
+from repro.sim.context import NodeContext
+from repro.sim.instant import InstantNetwork
+from repro.vid.codec import BAD_UPLOADER, RealCodec
+
+#: Cluster sizes spanning f = 1..5 (and therefore K = N - 2f = 2..6).
+CLUSTER_SIZES = (4, 7, 10, 13, 16)
+
+
+class TestPlacementProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        count=st.integers(min_value=0, max_value=64),
+    )
+    def test_count_placement_occupies_highest_ids(self, n: int, count: int):
+        spec = AdversarySpec(kind="crash", count=count)
+        if count > n:
+            with pytest.raises(ConfigurationError):
+                spec.placement(n)
+            return
+        placed = spec.placement(n)
+        assert placed == tuple(range(n - count, n))
+        assert len(placed) == count
+        # node 0 (the proposer the figures highlight) stays honest whenever
+        # the cluster can afford it
+        if count < n:
+            assert 0 not in placed
+
+    @given(
+        n=st.integers(min_value=2, max_value=64),
+        data=st.data(),
+    )
+    def test_explicit_nodes_override_count(self, n: int, data):
+        nodes = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1,
+                max_size=n,
+                unique=True,
+            )
+        )
+        spec = AdversarySpec(kind="crash", count=n, nodes=tuple(nodes))
+        assert spec.placement(n) == tuple(nodes)
+
+    @given(n=st.integers(min_value=1, max_value=32), offset=st.integers(min_value=0, max_value=8))
+    def test_out_of_range_ids_raise(self, n: int, offset: int):
+        spec = AdversarySpec(kind="crash", nodes=(n + offset,))
+        with pytest.raises(ConfigurationError):
+            spec.placement(n)
+        with pytest.raises(ConfigurationError):
+            AdversarySpec(kind="crash", nodes=(-1,)).placement(n)
+
+    def test_overlapping_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdversarySpec(kind="crash", nodes=(1, 2, 1))
+
+    def test_none_kind_places_nobody(self):
+        assert AdversarySpec().placement(8) == ()
+        # even when count/nodes are set, "none" means no placement
+        assert AdversarySpec(kind="none", count=3).placement(8) == ()
+
+    def test_invalid_behaviour_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdversarySpec(kind="censor", victim=-1)
+        with pytest.raises(ConfigurationError):
+            AdversarySpec(kind="equivocate", split=0)
+        with pytest.raises(ConfigurationError):
+            AdversarySpec(kind="crash", count=-1)
+
+
+def _mixed_dispersal(params: ProtocolParams, split: int):
+    """Send an inconsistent dispersal and capture every chunk message."""
+    from repro.adversary.equivocator import send_inconsistent_dispersal
+
+    received = {}
+
+    class Recorder:
+        def __init__(self, node_id: int):
+            self.node_id = node_id
+
+        def start(self):
+            return
+
+        def on_message(self, src, msg):
+            received[self.node_id] = msg
+
+    network = InstantNetwork(params.n)
+    for i in range(params.n):
+        network.attach(i, Recorder(i))
+    ctx = NodeContext(0, network, network)
+    payload_a = bytes(range(256)) * 4
+    payload_b = payload_a[::-1]
+    root = send_inconsistent_dispersal(
+        params, ctx, VIDInstanceId(epoch=1, proposer=0), payload_a, payload_b, split=split
+    )
+    network.run()
+    return root, received
+
+
+class TestEquivocationConsistency:
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_every_decodable_subset_is_bad_uploader(self, data):
+        """Across N/K grids and split points, no chunk subset decodes cleanly."""
+        n = data.draw(st.sampled_from(CLUSTER_SIZES))
+        params = ProtocolParams.for_n(n)
+        split = data.draw(st.integers(min_value=1, max_value=n - 1))
+        root, received = _mixed_dispersal(params, split)
+
+        assert len(received) == n
+        assert {msg.root for msg in received.values()} == {root}
+        codec = RealCodec(params)
+        for node_id, msg in received.items():
+            assert msg.chunk.index == node_id
+            assert codec.verify_chunk(root, msg.chunk)
+
+        k = params.data_shards
+        # every contiguous window of K chunks, plus the systematic prefix
+        subsets = [tuple(range(start, start + k)) for start in range(n - k + 1)]
+        # and a handful of non-contiguous draws
+        subsets.append(tuple(sorted(data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1),
+                     min_size=k, max_size=k, unique=True)
+        ))))
+        for subset in subsets:
+            chunks = {i: received[i].chunk for i in subset}
+            assert codec.decode(root, chunks) == BAD_UPLOADER, (
+                f"n={n} split={split} subset={subset} decoded cleanly"
+            )
+
+    @pytest.mark.parametrize("n", CLUSTER_SIZES)
+    def test_default_split_is_systematic_boundary(self, n: int):
+        """``split=None`` keeps the historic N - 2f behaviour on every grid."""
+        params = ProtocolParams.for_n(n)
+        root_default, received_default = _mixed_dispersal(params, params.data_shards)
+        codec = RealCodec(params)
+        # the systematic prefix alone decodes payload_a but fails re-encode
+        k = params.data_shards
+        chunks = {i: received_default[i].chunk for i in range(k)}
+        assert codec.decode(root_default, chunks) == BAD_UPLOADER
+
+    def test_split_bounds_enforced(self):
+        from repro.adversary.equivocator import send_inconsistent_dispersal
+
+        params = ProtocolParams.for_n(4)
+        network = InstantNetwork(4)
+        ctx = NodeContext(0, network, network)
+        for bad in (0, 4, -1):
+            with pytest.raises(ValueError):
+                send_inconsistent_dispersal(
+                    params, ctx, VIDInstanceId(epoch=1, proposer=0),
+                    b"a" * 64, b"b" * 64, split=bad,
+                )
+
+    @pytest.mark.parametrize("n", CLUSTER_SIZES)
+    def test_all_splits_consistent_across_grid(self, n: int):
+        """Exhaustive over split (deterministic companion to the fuzz test)."""
+        params = ProtocolParams.for_n(n)
+        codec = RealCodec(params)
+        k = params.data_shards
+        for split in range(1, n):
+            root, received = _mixed_dispersal(params, split)
+            for start in (0, n - k):
+                chunks = {i: received[i].chunk for i in range(start, start + k)}
+                assert codec.decode(root, chunks) == BAD_UPLOADER
+
+    def test_sampled_subsets_exhaustive_small_cluster(self):
+        """For N = 4 every K-subset (all 6) must fail the re-encode check."""
+        params = ProtocolParams.for_n(4)
+        codec = RealCodec(params)
+        for split in (1, 2, 3):
+            root, received = _mixed_dispersal(params, split)
+            for subset in itertools.combinations(range(4), params.data_shards):
+                chunks = {i: received[i].chunk for i in subset}
+                assert codec.decode(root, chunks) == BAD_UPLOADER

@@ -1,0 +1,56 @@
+"""Golden-summary regression suite.
+
+Every named catalog scenario is re-run at its pinned golden configuration
+(`repro.experiments.golden`) and the canonical JSON of its summaries is
+compared **bit-for-bit** against the snapshot under ``tests/golden/``.  A
+behaviour change anywhere in the stack — event loop, pipes, codec, protocol
+logic, summary schema — shows up as a snapshot diff; perf-only PRs must
+leave every file untouched.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_summaries.py --update-golden
+
+and commit the diff alongside the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import canonical_json, golden_names, golden_payload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+pytestmark = pytest.mark.golden
+
+
+def test_every_snapshot_belongs_to_a_scenario():
+    """Stale snapshot files (renamed/removed scenarios) fail loudly."""
+    known = set(golden_names())
+    on_disk = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert on_disk <= known, f"stale golden files: {sorted(on_disk - known)}"
+
+
+@pytest.mark.parametrize("name", golden_names())
+def test_golden_summary(name: str, update_golden: bool):
+    path = GOLDEN_DIR / f"{name}.json"
+    text = canonical_json(golden_payload(name))
+    if update_golden:
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path}; generate it with "
+        f"`pytest tests/test_golden_summaries.py --update-golden`"
+    )
+    stored = path.read_text()
+    if stored != text:
+        # Surface *which* summaries moved before the exact-bytes assertion,
+        # so a failure names the drifted fields instead of a wall of JSON.
+        old = json.loads(stored)
+        new = json.loads(text)
+        assert old == new, f"golden summaries drifted for {name!r}"
+    assert stored == text, f"golden snapshot for {name!r} is not byte-identical"

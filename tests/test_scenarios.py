@@ -48,6 +48,19 @@ class TestSpecRoundTrip:
         )
         assert ScenarioSpec.from_dict(spec.to_dict()) == spec
 
+    def test_adversary_behaviour_params_round_trip(self):
+        """victim / split / stop_after survive the JSON round-trip."""
+        spec = tiny_spec(
+            adversary=AdversarySpec(kind="censor", count=1, victim=2),
+            workload=WorkloadSpec(kind="poisson", stop_after=5.0),
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.adversary.victim == 2
+        assert restored.workload.stop_after == 5.0
+        split_spec = tiny_spec(adversary=AdversarySpec(kind="equivocate", count=1, split=3))
+        assert ScenarioSpec.from_json(split_spec.to_json()).adversary.split == 3
+
     def test_json_round_trip_is_lossless(self):
         spec = tiny_spec(topology=TopologySpec(kind="cities", testbed="vultr"))
         assert ScenarioSpec.from_json(spec.to_json()) == spec
@@ -220,6 +233,87 @@ class TestRunScenario:
         )
         assert outcome.result.delivered_epochs[-1] >= 1  # participated before the crash
 
+    def test_censor_adversary_on_timed_simulator(self):
+        """`adversary.kind: censor` runs on the bandwidth-accurate network."""
+        outcome = run_scenario(
+            tiny_spec(
+                duration=8.0,
+                workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=400_000.0),
+                adversary=AdversarySpec(kind="censor", count=1, victim=0),
+            )
+        )
+        summary = outcome.summary()
+        assert summary["adversary_kind"] == "censor"
+        assert summary["adversary_nodes"] == [3]
+        assert summary["victim"] == 0
+        # the victim's transactions still commit (linking defeats censorship)
+        assert summary["victim_commit_p50"] is not None
+        assert summary["victim_inclusion_delay"] is not None
+        # the censor is a live participant, not a crash: liveness at everyone
+        assert summary["delivered_epochs"] >= 1
+        assert min(outcome.result.throughputs) > 0
+
+    def test_equivocate_adversary_on_timed_simulator_virtual_plane(self):
+        """Equivocation works on the virtual data plane the experiments use."""
+        outcome = run_scenario(
+            tiny_spec(
+                duration=8.0,
+                workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=400_000.0),
+                adversary=AdversarySpec(kind="equivocate", count=1),
+            )
+        )
+        summary = outcome.summary()
+        assert summary["adversary_kind"] == "equivocate"
+        # every commit of the equivocator's slot became a BAD_UPLOADER
+        # placeholder, detected in the very first epoch it proposed
+        assert summary["equivocation_detected_epoch"] == 1
+        assert summary["bad_uploader_deliveries"] > 0
+        # honest nodes keep confirming their own load
+        assert summary["delivered_epochs"] >= 1
+        assert max(outcome.result.throughputs) > 0
+
+    def test_equivocate_adversary_on_real_data_plane(self):
+        """The same spec on the real codec exercises the re-encode check."""
+        outcome = run_scenario(
+            tiny_spec(
+                duration=6.0,
+                workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=100_000.0),
+                node=NodeConfig(data_plane="real", max_block_size=50_000),
+                adversary=AdversarySpec(kind="equivocate", count=1, split=2),
+            )
+        )
+        summary = outcome.summary()
+        assert summary["bad_uploader_deliveries"] > 0
+        assert summary["equivocation_detected_epoch"] == 1
+
+    def test_adversary_metrics_deterministic_across_runs(self):
+        spec = tiny_spec(
+            duration=6.0,
+            workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=400_000.0),
+            adversary=AdversarySpec(kind="censor", count=1, victim=0),
+        )
+        assert run_scenario(spec).summary() == run_scenario(spec).summary()
+
+    def test_workload_stop_after_cuts_load(self):
+        """stop_after freezes offered load; delivered bytes stop growing."""
+        stopped = run_scenario(
+            tiny_spec(
+                duration=10.0,
+                workload=WorkloadSpec(
+                    kind="poisson", rate_bytes_per_second=400_000.0, stop_after=2.0
+                ),
+            )
+        )
+        flowing = run_scenario(
+            tiny_spec(
+                duration=10.0,
+                workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=400_000.0),
+            )
+        )
+        assert stopped.summary()["mean_throughput"] < flowing.summary()["mean_throughput"]
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="poisson", stop_after=0.0)
+
     def test_vid_cost_scenario(self):
         from repro.experiments.fig02 import measure_avid_m_dispersal_cost, vid_cost_curve
 
@@ -346,6 +440,71 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert len(payload["summaries"]) == 1
         assert payload["summaries"][0]["measured_avid_m"] > 0
+
+    def test_run_spec_file_round_trips_with_in_memory_run(self, tmp_path, capsys):
+        """spec -> JSON file -> CLI run equals running the spec in memory."""
+        spec = tiny_spec(
+            duration=5.0,
+            adversary=AdversarySpec(kind="censor", count=1, victim=0),
+            workload=WorkloadSpec(kind="poisson", rate_bytes_per_second=400_000.0),
+        )
+        path = tmp_path / "tiny.json"
+        path.write_text(spec.to_json())
+        assert cli_main(["run", str(path), "--serial", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == spec.name
+        assert payload["summaries"] == [run_scenario(spec).summary()]
+
+    def test_show_spec_file(self, tmp_path, capsys):
+        spec = tiny_spec(duration=5.0)
+        path = tmp_path / "tiny.json"
+        path.write_text(spec.to_json())
+        assert cli_main(["show", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert ScenarioSpec.from_dict(payload["base"]) == spec
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "{ not json",                                   # malformed JSON
+            '{"protocl": "dl"}',                            # unknown field
+            '{"duration": -1}',                             # invalid value
+            '{"workload": {"kind": "wormhole"}}',           # unknown registry kind
+            '{"adversary": {"kind": "censor", "victim": -3}}',  # bad behaviour param
+        ],
+    )
+    def test_malformed_spec_file_is_a_clean_error(self, tmp_path, capsys, content):
+        """Bad spec files exit 2 with a one-line error, never a traceback."""
+        path = tmp_path / "broken.json"
+        path.write_text(content)
+        assert cli_main(["run", str(path), "--serial"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_missing_spec_file_is_a_clean_error(self, tmp_path, capsys):
+        assert cli_main(["run", str(tmp_path / "absent.json")]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_stray_file_cannot_shadow_catalog_name(self, tmp_path, monkeypatch):
+        """A file named like a catalog entry in the cwd is never picked up."""
+        from repro.experiments.cli import resolve_entry
+
+        (tmp_path / "fig08-geo").write_text("not a spec")
+        monkeypatch.chdir(tmp_path)
+        entry = resolve_entry("fig08-geo")
+        assert entry.figure is not None  # the catalog entry, not the file
+
+    def test_curated_spec_files_are_valid(self):
+        """Every checked-in scenarios/*.json parses and round-trips."""
+        from pathlib import Path
+
+        spec_dir = Path(__file__).parent.parent / "scenarios"
+        paths = sorted(spec_dir.glob("*.json"))
+        assert len(paths) >= 5
+        for path in paths:
+            spec = ScenarioSpec.from_json(path.read_text())
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec, path.name
 
     def test_run_with_overrides(self, capsys):
         assert (
