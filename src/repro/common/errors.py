@@ -9,6 +9,10 @@ class ConfigurationError(ReproError):
     """An invalid protocol or experiment configuration was supplied."""
 
 
+class TraceError(ConfigurationError):
+    """A measured-bandwidth trace file is malformed or cannot be used."""
+
+
 class ProtocolError(ReproError):
     """A protocol automaton received input that violates its contract."""
 

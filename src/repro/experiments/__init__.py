@@ -36,13 +36,17 @@ Headline (S1)        :func:`repro.experiments.summary.run_headline_summary`
 Beyond the paper, the catalog grows scenario coverage with bandwidth churn
 (``bandwidth-flapping``), heavy-tailed stragglers (``straggler-hetero``),
 crash-fault mixes (``adversary-crash-mix``), mid-run churn
-(``mid-run-crash``), non-stationary workloads (``bursty-load``) and
-Byzantine node-class adversaries on the timed simulator (``censor-victim``,
-``equivocate-split``, ``latency-fault-matrix``); see ``docs/scenarios.md``.
-``run``/``show`` also take a path to a spec file (curated ones under
-``scenarios/``), and every catalog scenario is pinned bit-for-bit by the
-golden-summary suite (:mod:`repro.experiments.golden`, snapshots in
-``tests/golden/``).
+(``mid-run-crash``), non-stationary workloads (``bursty-load``), Byzantine
+node-class adversaries on the timed simulator (``censor-victim``,
+``equivocate-split``, ``latency-fault-matrix``) and measured-bandwidth
+replay (``trace-replay-wan``, ``trace-scale-sweep``, built on
+:mod:`repro.trace` with bundled traces under ``traces/``); see
+``docs/scenarios.md``.  ``run``/``show`` also take a path to a spec file
+(curated ones under ``scenarios/``), every catalog scenario is pinned
+bit-for-bit by the golden-summary suite (:mod:`repro.experiments.golden`,
+snapshots in ``tests/golden/``; expensive scenarios live in a ``slow``
+CI-only tier), and ``python -m repro.experiments trace
+{inspect,convert,export}`` works with trace files and per-run telemetry.
 
 The benchmark scripts under ``benchmarks/`` call these runners with reduced
 default durations so that ``pytest benchmarks/ --benchmark-only`` completes

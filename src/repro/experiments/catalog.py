@@ -11,10 +11,11 @@ base spec for longer, smoother measurements.
 The paper-figure entries (``fig02``, ``fig08-geo``, …) mirror the dedicated
 figure modules; the remaining entries grow scenario coverage beyond the
 paper: bandwidth churn, heavy-tailed stragglers, crash-fault mixes, mid-run
-churn, non-stationary workloads, and Byzantine node-class adversaries on
-the timed simulator (``censor-victim``, ``equivocate-split``,
-``latency-fault-matrix``).  Register new entries with
-:func:`register_scenario`.
+churn, non-stationary workloads, Byzantine node-class adversaries on the
+timed simulator (``censor-victim``, ``equivocate-split``,
+``latency-fault-matrix``), and measured-bandwidth replay through the trace
+subsystem (``trace-replay-wan``, ``trace-scale-sweep``; bundled traces
+under ``traces/``).  Register new entries with :func:`register_scenario`.
 """
 
 from __future__ import annotations
@@ -418,6 +419,44 @@ register_scenario(
             "adversary_kind",
             "delivered_epochs",
         ),
+    )
+)
+
+register_scenario(
+    NamedScenario(
+        name="trace-replay-wan",
+        description="Measured-bandwidth replay: 8 shaped-broadband links from traces/wan-measured.csv",
+        base=ScenarioSpec(
+            name="trace-replay-wan",
+            topology=TopologySpec(kind="uniform", num_nodes=8, delay=0.06),
+            bandwidth=BandwidthSpec(
+                kind="trace-replay", trace_path="traces/wan-measured.csv"
+            ),
+            workload=WorkloadSpec(kind="saturating", target_pending_bytes=3_000_000),
+            node=NodeConfig(max_block_size=500_000),
+            duration=30.0,
+        ),
+        grid={"protocol": ("dl", "hb")},
+        columns=_SIM_COLUMNS,
+    )
+)
+
+register_scenario(
+    NamedScenario(
+        name="trace-scale-sweep",
+        description="Trace scaling: replay the WAN trace at 0.5x / 1x / 2x the measured rates",
+        base=ScenarioSpec(
+            name="trace-scale-sweep",
+            topology=TopologySpec(kind="uniform", num_nodes=8, delay=0.06),
+            bandwidth=BandwidthSpec(
+                kind="trace-replay", trace_path="traces/wan-measured.csv"
+            ),
+            workload=WorkloadSpec(kind="saturating", target_pending_bytes=3_000_000),
+            node=NodeConfig(max_block_size=500_000),
+            duration=30.0,
+        ),
+        grid={"bandwidth.trace_scale": (0.5, 1.0, 2.0)},
+        columns=_SIM_COLUMNS,
     )
 )
 

@@ -8,6 +8,8 @@
     python -m repro.experiments run straggler-hetero --grid seed=0,1,2 --json
     python -m repro.experiments run bandwidth-flapping --set bandwidth.count=4 --serial
     python -m repro.experiments run scenarios/censor-victim.json
+    python -m repro.experiments trace inspect traces/wan-measured.csv
+    python -m repro.experiments trace export trace-replay-wan --out telemetry
 
 ``run`` and ``show`` accept either a catalog name or a path to a scenario
 spec file (anything ending in ``.json`` or containing a path separator):
@@ -21,6 +23,11 @@ runs every point — in parallel across processes by default — and prints the
 unified summary table.  ``--set`` overrides base-spec fields by dotted path;
 values are parsed as JSON when possible (``--set workload.kind=bursty``
 works too, falling back to the raw string).
+
+``trace`` groups the measured-bandwidth utilities — ``inspect`` a trace
+file, ``convert`` between the CSV and JSON formats (optionally resampling,
+scaling or clipping), and ``export`` a scenario's telemetry time-series —
+see :mod:`repro.trace.cli`.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from repro.common.errors import ConfigurationError
 from repro.experiments.catalog import NamedScenario, get_scenario, list_scenarios
 from repro.experiments.engine import SweepResult, sweep
 from repro.experiments.scenario import ScenarioSpec, apply_override
+from repro.trace.cli import add_trace_parser, run_trace_command
 
 
 class SpecFileError(Exception):
@@ -143,6 +151,8 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--serial", action="store_true", help="run points in-process")
         cmd.add_argument("--workers", type=int, help="worker-process count")
         cmd.add_argument("--json", action="store_true", help="emit JSON summaries")
+
+    add_trace_parser(sub)
     return parser
 
 
@@ -190,6 +200,9 @@ def _print_run(entry: NamedScenario, result: SweepResult, as_json: bool) -> None
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "trace":
+        return run_trace_command(args)
 
     if args.command == "list":
         for entry in list_scenarios():

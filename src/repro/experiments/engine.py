@@ -15,9 +15,11 @@ simulator throughput (events per second) across PRs.
 from __future__ import annotations
 
 import os
+import re
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.experiments.runner import ExperimentResult, run_experiment
@@ -28,6 +30,7 @@ from repro.experiments.scenario import (
     describe_overrides,
     expand_grid,
 )
+from repro.trace.recorder import TraceRecorder
 
 
 @dataclass
@@ -40,6 +43,10 @@ class ScenarioResult:
     keys, the unified schema every report and sweep table is built from.
     ``wall_clock_seconds`` is real time, not virtual time, and is therefore
     excluded from :meth:`summary` so summaries are deterministic.
+    ``telemetry_path`` names the JSONL time-series written for this point
+    when the spec opted into telemetry recording (``None`` otherwise); it is
+    likewise excluded from :meth:`summary`, whose bytes are pinned by the
+    golden suite regardless of recording.
     """
 
     spec: ScenarioSpec
@@ -47,6 +54,7 @@ class ScenarioResult:
     result: ExperimentResult | None = None
     extra: dict[str, Any] = field(default_factory=dict)
     wall_clock_seconds: float = 0.0
+    telemetry_path: str | None = None
 
     @property
     def label(self) -> str:
@@ -99,10 +107,27 @@ class ScenarioResult:
         return base
 
 
+def telemetry_filename(spec: ScenarioSpec, overrides: Mapping[str, Any] | None) -> str:
+    """The per-point JSONL file name: scenario, grid label and seed.
+
+    Every component a sweep varies is either in the label (grid overrides)
+    or the seed, so parallel points never collide on a file.
+    """
+    label = describe_overrides(dict(overrides or {}))
+    safe_label = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "base"
+    return f"{spec.name}-{safe_label}-seed{spec.seed}.jsonl"
+
+
 def run_scenario(
     spec: ScenarioSpec, overrides: Mapping[str, Any] | None = None
 ) -> ScenarioResult:
-    """Run one scenario point and wrap the outcome in a :class:`ScenarioResult`."""
+    """Run one scenario point and wrap the outcome in a :class:`ScenarioResult`.
+
+    When the spec opts into telemetry (``spec.telemetry.enabled``), a
+    :class:`~repro.trace.recorder.TraceRecorder` rides along and its rows
+    are written to ``spec.telemetry.out_dir`` under a per-point file name
+    (:func:`telemetry_filename`); the summary itself is unchanged.
+    """
     started = time.perf_counter()
     if spec.kind == "vid-cost":
         extra = _run_vid_cost(spec)
@@ -112,6 +137,7 @@ def run_scenario(
             extra=extra,
             wall_clock_seconds=time.perf_counter() - started,
         )
+    recorder = TraceRecorder(interval=spec.telemetry.interval) if spec.telemetry.enabled else None
     result = run_experiment(
         spec.protocol,
         build_network_config(spec),
@@ -122,12 +148,18 @@ def run_scenario(
         seed=spec.seed,
         warmup=spec.effective_warmup(),
         adversary=spec.adversary,
+        recorder=recorder,
     )
+    telemetry_path: str | None = None
+    if recorder is not None:
+        target = Path(spec.telemetry.out_dir) / telemetry_filename(spec, overrides)
+        telemetry_path = str(recorder.write_jsonl(target))
     return ScenarioResult(
         spec=spec,
         overrides=dict(overrides or {}),
         result=result,
         wall_clock_seconds=time.perf_counter() - started,
+        telemetry_path=telemetry_path,
     )
 
 

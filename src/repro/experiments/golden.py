@@ -12,6 +12,13 @@ virtual time, so the whole suite stays inside a test budget) with the most
 expensive axes trimmed; :data:`GOLDEN_CONFIGS` is the single place those
 pins live, and the pinned configuration is embedded in each snapshot so a
 change to the pins shows up in the snapshot diff too.
+
+The suite is split into two tiers so local tier-1 runs stay snappy: the
+scenarios in :data:`SLOW_GOLDEN` (the big geo testbeds and widest sweeps,
+~50 s of the suite's ~65 s) carry the ``slow`` pytest marker, which
+``pytest.ini`` deselects by default — a plain ``pytest`` run verifies the
+fast tier only, while CI's golden step (and a local
+``pytest tests/test_golden_summaries.py -m golden``) runs both tiers.
 """
 
 from __future__ import annotations
@@ -82,6 +89,8 @@ GOLDEN_CONFIGS: dict[str, GoldenConfig] = {
     ),
     "fig15-vultr": GoldenConfig(duration=2.5, grid={"protocol": ("dl", "hb")}),
     "straggler-hetero": GoldenConfig(duration=2.5, grid={"protocol": ("dl", "hb")}),
+    "trace-replay-wan": GoldenConfig(duration=2.5),
+    "trace-scale-sweep": GoldenConfig(duration=2.5, grid={"bandwidth.trace_scale": (0.5, 2.0)}),
     "mid-run-crash": GoldenConfig(overrides={"adversary.crash_time": 1.5}),
     "bursty-load": GoldenConfig(duration=4.0, overrides={"warmup": 1.0}),
     "latency-fault-matrix": GoldenConfig(
@@ -99,6 +108,24 @@ GOLDEN_CONFIGS: dict[str, GoldenConfig] = {
         },
     ),
 }
+
+
+#: Scenarios whose golden runs dominate the suite's wall clock (>= ~6 s
+#: each on the reference single-core box: the 15/16-city geo testbeds, the
+#: N = 16 controlled and scalability sweeps, and the 4 s bursty-load run).
+#: Their snapshot tests carry the ``slow`` marker and are deselected from
+#: plain ``pytest`` runs; CI's golden step runs them on every push.
+SLOW_GOLDEN: frozenset[str] = frozenset(
+    {
+        "bursty-load",
+        "fig08-geo",
+        "fig10-latency",
+        "fig11a-spatial",
+        "fig11b-temporal",
+        "fig12-scalability",
+        "fig15-vultr",
+    }
+)
 
 
 def golden_names() -> list[str]:

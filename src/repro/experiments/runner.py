@@ -16,7 +16,7 @@ this driver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.adversary.registry import AdversarySpec, get_adversary
 from repro.ba.coin import CommonCoin
@@ -37,6 +37,9 @@ from repro.workload.txgen import (
     bursty_rate_profile,
     diurnal_rate_profile,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.trace.recorder import TraceRecorder
 
 #: The protocols the paper's evaluation compares (S6), keyed by the labels
 #: used throughout the experiments and benchmark output.  Extend with
@@ -275,6 +278,7 @@ def run_experiment(
     seed: int = 0,
     warmup: float = 0.0,
     adversary: AdversarySpec | None = None,
+    recorder: "TraceRecorder | None" = None,
 ) -> ExperimentResult:
     """Run one protocol on one simulated network and summarise the outcome.
 
@@ -300,6 +304,12 @@ def run_experiment(
             client workload and its epoch frontiers feed the result.
             Per-node metrics (zero throughput for silent nodes) stay in the
             result so summaries remain index-aligned with the cluster.
+        recorder: optional :class:`~repro.trace.recorder.TraceRecorder` that
+            samples per-node link and protocol state while the run executes
+            and derives per-epoch rows afterwards.  Recording is
+            behaviour-neutral: the sampling callbacks are uncounted internal
+            events that only read state, so the returned result is identical
+            with or without it.
     """
     workload = workload or WorkloadSpec()
     node_config = node_config or NodeConfig()
@@ -338,7 +348,11 @@ def run_experiment(
         sim.schedule(0.0, generator.start)
 
     network.start()
+    if recorder is not None:
+        recorder.attach(sim, network, nodes, collector)
     sim.run(until=duration)
+    if recorder is not None:
+        recorder.finish(nodes, adversarial=placement)
 
     block_sizes = [
         size for metrics in collector.per_node for size in metrics.proposed_block_sizes

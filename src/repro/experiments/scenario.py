@@ -35,6 +35,8 @@ from repro.core.config import NodeConfig
 from repro.experiments.runner import PROTOCOLS, WorkloadSpec
 from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth
 from repro.sim.network import NetworkConfig
+from repro.trace.io import load_trace_cached
+from repro.trace.recorder import TelemetrySpec
 from repro.workload.cities import (
     DEFAULT_EGRESS_HEADROOM,
     city_network_config,
@@ -105,11 +107,18 @@ class BandwidthSpec:
       ``degraded_rate`` (``degraded_for`` out of every ``period`` seconds,
       staggered), the bandwidth-churn regime of Fig. 1;
     * ``"straggler"`` — the last ``count`` nodes permanently capped at
-      ``degraded_rate``, a heavy-tailed heterogeneous cluster.
+      ``degraded_rate``, a heavy-tailed heterogeneous cluster;
+    * ``"trace-replay"`` — every node replays a **measured** trace file
+      (``trace_path``, CSV or JSON breakpoints of per-node up/down rates —
+      see :mod:`repro.trace`), with every rate multiplied by
+      ``trace_scale``.  Simulated node ``i`` replays trace node
+      ``i % trace_nodes``, so any cluster size can replay any recording.
 
     ``egress_headroom`` scales the upload side relative to the download caps
     (1.0 = symmetric links, as in the scalability experiments; the
-    controlled Fig. 11 experiments use 2.0, see DESIGN.md).
+    controlled Fig. 11 experiments use 2.0, see DESIGN.md).  For trace
+    replay the measured up rates already encode the asymmetry, so the
+    headroom usually stays 1.0.
     """
 
     kind: str = "constant"
@@ -122,6 +131,8 @@ class BandwidthSpec:
     degraded_for: float = 4.0
     count: int = 0
     egress_headroom: float = 1.0
+    trace_path: str | None = None
+    trace_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.kind not in BANDWIDTH_MODELS:
@@ -132,6 +143,10 @@ class BandwidthSpec:
             raise ConfigurationError("egress_headroom must be positive")
         if self.count < 0:
             raise ConfigurationError("count must be non-negative")
+        if self.trace_scale <= 0:
+            raise ConfigurationError("trace_scale must be positive")
+        if self.kind == "trace-replay" and not self.trace_path:
+            raise ConfigurationError("trace-replay bandwidth needs a trace_path")
 
 
 #: ``builder(spec, num_nodes, duration, seed) -> (ingress, egress)`` — the
@@ -226,12 +241,23 @@ def _bw_straggler(spec: BandwidthSpec, n: int, duration: float, seed: int) -> Tr
     return ingress, egress
 
 
+def _bw_trace_replay(spec: BandwidthSpec, n: int, duration: float, seed: int) -> TraceLists:
+    # The file is loaded through an LRU cache, so a sweep over seeds or
+    # trace_scale parses and validates it exactly once per process.
+    trace = load_trace_cached(spec.trace_path)
+    ingress, egress = trace.bandwidth_traces(
+        n, scale=spec.trace_scale, egress_headroom=spec.egress_headroom
+    )
+    return list(ingress), list(egress)
+
+
 register_bandwidth_model("unlimited", _bw_unlimited)
 register_bandwidth_model("constant", _bw_constant)
 register_bandwidth_model("spatial", _bw_spatial)
 register_bandwidth_model("gauss-markov", _bw_gauss_markov)
 register_bandwidth_model("flapping", _bw_flapping)
 register_bandwidth_model("straggler", _bw_straggler)
+register_bandwidth_model("trace-replay", _bw_trace_replay)
 
 
 @dataclass(frozen=True)
@@ -251,6 +277,9 @@ class ScenarioSpec:
         workload: offered client load.
         node: per-node behaviour knobs (block-size caps, Nagle parameters,
             data plane), embedded verbatim as a :class:`NodeConfig`.
+        telemetry: opt-in per-run time-series recording
+            (:class:`~repro.trace.recorder.TelemetrySpec`); summaries are
+            bit-identical whether it is on or off.
         duration: virtual seconds to simulate.
         warmup: absolute virtual seconds excluded from throughput
             denominators; ``None`` means ``warmup_fraction * duration``.
@@ -271,6 +300,7 @@ class ScenarioSpec:
     adversary: AdversarySpec = field(default_factory=AdversarySpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     node: NodeConfig = field(default_factory=NodeConfig)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
     duration: float = 30.0
     warmup: float | None = None
     warmup_fraction: float = 0.25
@@ -293,6 +323,13 @@ class ScenarioSpec:
             raise ConfigurationError("warmup must be in [0, duration)")
         if self.block_size <= 0:
             raise ConfigurationError("block_size must be positive")
+        if self.telemetry.enabled and self.kind != "sim":
+            # Analytic kinds never build a simulator, so there is nothing to
+            # sample; fail at spec construction rather than silently
+            # recording nothing.
+            raise ConfigurationError(
+                f"telemetry recording requires a sim scenario, not kind {self.kind!r}"
+            )
 
     @property
     def num_nodes(self) -> int:
@@ -333,6 +370,7 @@ class ScenarioSpec:
             ("adversary", AdversarySpec),
             ("workload", WorkloadSpec),
             ("node", NodeConfig),
+            ("telemetry", TelemetrySpec),
         ):
             value = payload.pop(key, None)
             if value is None:

@@ -222,6 +222,28 @@ class Network:
     def sim(self) -> Simulator:
         return self._sim
 
+    def link_snapshot(self, node_id: int) -> dict:
+        """A read-only snapshot of one node's link state (telemetry hook).
+
+        Queue depths count waiting *and* in-flight bytes; busy times (the
+        in-flight transfer's elapsed portion included, so interval deltas
+        are exact) and transferred bytes are cumulative since the start of
+        the run.  The :class:`repro.trace.recorder.TraceRecorder` samples
+        this on a virtual-time grid; reading it never perturbs the
+        simulation.
+        """
+        now = self._sim.now
+        egress = self._egress[node_id]
+        ingress = self._ingress[node_id]
+        return {
+            "egress_queue": egress.queued_bytes + egress.in_flight_bytes,
+            "ingress_queue": ingress.queued_bytes + ingress.in_flight_bytes,
+            "egress_busy_time": egress.busy_time_at(now),
+            "ingress_busy_time": ingress.busy_time_at(now),
+            "egress_bytes": egress.bytes_transferred,
+            "ingress_bytes": ingress.bytes_transferred,
+        }
+
     def attach(self, node_id: int, handler: Process) -> None:
         """Register the protocol automaton running at ``node_id``."""
         self._handlers[node_id] = handler

@@ -163,6 +163,28 @@ class Pipe:
             total += sum(entry[2] for entry in self._heap[priority])
         return total
 
+    @property
+    def in_flight_bytes(self) -> int:
+        """Size of the transfer currently being served (0 when idle).
+
+        Telemetry sampling hook: together with :attr:`queued_bytes` this is
+        the pipe's instantaneous backlog; reading it never mutates state.
+        """
+        return self._cur_size if self._cur_on_done is not None else 0
+
+    def busy_time_at(self, now: float) -> float:
+        """Cumulative service time as of ``now``, in-flight transfer included.
+
+        :attr:`busy_time` only accrues when a transfer *completes*; a sampler
+        reading it mid-transfer would see utilisation stuck at zero for the
+        whole span and then a jump past 1.0 at completion.  This accessor
+        adds the elapsed portion of the transfer in flight, so interval
+        deltas are exact.  Read-only (telemetry sampling hook).
+        """
+        if self._cur_on_done is not None:
+            return self.busy_time + (now - self._cur_start)
+        return self.busy_time
+
     def _kick(self) -> None:
         head = self._kick_head
         assert head is not None

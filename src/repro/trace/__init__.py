@@ -1,0 +1,57 @@
+"""Measured-bandwidth trace replay and per-run telemetry.
+
+Two halves, both new layers over the simulator:
+
+* **Replay** (:mod:`repro.trace.model`, :mod:`repro.trace.io`) — a file
+  format for measured per-node bandwidth breakpoints
+  (``time,node,up_bps,down_bps`` CSV, or the equivalent JSON), a validating
+  loader, transform utilities (scale / clip / resample), and the bridge that
+  lowers a trace onto the simulator's piecewise-constant bandwidth
+  functions.  The scenario engine's ``trace-replay`` bandwidth model
+  (:mod:`repro.experiments.scenario`) is built on this, so any
+  :class:`~repro.experiments.scenario.ScenarioSpec` can replay a recorded
+  trace by path; bundled examples live under ``traces/``.
+* **Telemetry** (:mod:`repro.trace.recorder`) — a
+  :class:`TraceRecorder` that samples per-node link state (queue depth,
+  utilisation, traffic counters, epoch frontiers) on a virtual-time grid
+  and derives per-epoch commit and adversary-delivery rows after the run,
+  writing JSONL next to the summary.  Recording is opt-in per spec
+  (:class:`TelemetrySpec`) and behaviour-neutral: summaries are
+  bit-identical with it on or off.
+
+CLI: ``python -m repro.experiments trace {inspect,convert,export}``
+(:mod:`repro.trace.cli`).
+"""
+
+from repro.common.errors import TraceError
+from repro.trace.io import (
+    load_trace,
+    load_trace_cached,
+    parse_csv,
+    parse_json,
+    resolve_trace_path,
+    save_trace,
+    to_csv_text,
+    to_json_text,
+)
+from repro.trace.model import REPLAY_RATE_FLOOR, MeasuredTrace, NodeTrace, TracePoint
+from repro.trace.recorder import TelemetrySpec, TraceRecorder, read_jsonl
+
+__all__ = [
+    "MeasuredTrace",
+    "NodeTrace",
+    "REPLAY_RATE_FLOOR",
+    "TelemetrySpec",
+    "TraceError",
+    "TracePoint",
+    "TraceRecorder",
+    "load_trace",
+    "load_trace_cached",
+    "parse_csv",
+    "parse_json",
+    "read_jsonl",
+    "resolve_trace_path",
+    "save_trace",
+    "to_csv_text",
+    "to_json_text",
+]

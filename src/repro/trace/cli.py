@@ -1,0 +1,202 @@
+"""The ``trace`` subcommand family of ``python -m repro.experiments``.
+
+::
+
+    python -m repro.experiments trace inspect traces/wan-measured.csv
+    python -m repro.experiments trace convert traces/wan-measured.csv /tmp/wan.json
+    python -m repro.experiments trace convert in.csv out.csv --step 0.5 --scale 2
+    python -m repro.experiments trace export trace-replay-wan --out telemetry
+
+* ``inspect`` prints per-node statistics of a trace file (breakpoints,
+  duration, time-weighted mean/min/max rates), or the same as JSON.
+* ``convert`` rewrites a trace between the CSV and JSON formats (chosen by
+  extension), optionally resampling (``--step``), scaling (``--scale``),
+  clipping (``--clip T0 T1``) and renaming (``--name``) on the way.
+* ``export`` runs a scenario — catalog name or spec-file path, like
+  ``run`` — with telemetry forced on and reports where the JSONL landed.
+  Only the base point runs (grids are a ``run`` concern); ``--set``,
+  ``--duration`` and ``--seed`` compose like they do for ``run``.
+
+Every user error (missing file, malformed trace, bad scenario) is reported
+as a one-line ``error:`` on stderr with exit status 2, never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+
+from repro.common.errors import ConfigurationError, TraceError
+from repro.trace.io import load_trace, save_trace
+from repro.trace.model import MeasuredTrace
+from repro.trace.recorder import TelemetrySpec
+
+
+def add_trace_parser(subparsers) -> None:
+    """Register the ``trace`` subcommand tree on the experiments CLI."""
+    trace = subparsers.add_parser(
+        "trace", help="measured-bandwidth trace utilities (inspect/convert/export)"
+    )
+    nested = trace.add_subparsers(dest="trace_command", required=True)
+
+    inspect = nested.add_parser("inspect", help="print per-node statistics of a trace file")
+    inspect.add_argument("trace", help="path to a .csv or .json trace file")
+    inspect.add_argument("--json", action="store_true", help="emit the statistics as JSON")
+
+    convert = nested.add_parser(
+        "convert", help="rewrite a trace (CSV <-> JSON), optionally transforming it"
+    )
+    convert.add_argument("trace", help="source trace file (.csv or .json)")
+    convert.add_argument("output", help="destination file (.csv or .json)")
+    convert.add_argument("--step", type=float, help="resample onto a regular grid (seconds)")
+    convert.add_argument("--scale", type=float, help="multiply every rate by this factor")
+    convert.add_argument(
+        "--clip",
+        nargs=2,
+        type=float,
+        metavar=("START", "END"),
+        help="keep only the [START, END) window, re-based to time zero",
+    )
+    convert.add_argument("--name", help="rename the trace in the output")
+
+    export = nested.add_parser(
+        "export", help="run a scenario with telemetry recording forced on"
+    )
+    export.add_argument("scenario", help="catalog name or spec-file path (like `run`)")
+    export.add_argument(
+        "--out", default=None, help="telemetry output directory (default: the spec's)"
+    )
+    export.add_argument("--duration", type=float, help="virtual seconds to simulate")
+    export.add_argument("--seed", type=int, help="master seed for the run")
+    export.add_argument(
+        "--interval", type=float, default=None, help="sampling interval in virtual seconds"
+    )
+    export.add_argument(
+        "--set",
+        dest="overrides",
+        metavar="PATH=VALUE",
+        action="append",
+        default=[],
+        help="override a base-spec field by dotted path (repeatable)",
+    )
+    export.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+
+def run_trace_command(args: argparse.Namespace) -> int:
+    """Dispatch one parsed ``trace`` invocation; returns the exit status."""
+    try:
+        if args.trace_command == "inspect":
+            return _inspect(args)
+        if args.trace_command == "convert":
+            return _convert(args)
+        return _export(args)
+    except (TraceError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _inspect(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    stats = trace.stats()
+    if args.json:
+        payload = {
+            "name": trace.name,
+            "num_nodes": trace.num_nodes,
+            "duration": trace.duration,
+            "num_points": trace.num_points,
+            "nodes": stats,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"trace {trace.name}: {trace.num_nodes} node(s), "
+        f"{trace.duration:g} s, {trace.num_points} breakpoint(s)"
+    )
+    header = f"{'node':>4}  {'points':>6}  {'up mean/min/max (MB/s)':>24}  {'down mean/min/max (MB/s)':>24}"
+    print(header)
+    print("-" * len(header))
+    for row in stats:
+        up = f"{row['up_mean'] / 1e6:.2f}/{row['up_min'] / 1e6:.2f}/{row['up_max'] / 1e6:.2f}"
+        down = (
+            f"{row['down_mean'] / 1e6:.2f}/{row['down_min'] / 1e6:.2f}/{row['down_max'] / 1e6:.2f}"
+        )
+        print(f"{row['node']:>4}  {row['points']:>6}  {up:>24}  {down:>24}")
+    return 0
+
+
+def _convert(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    if args.clip is not None:
+        trace = trace.clipped(args.clip[0], args.clip[1])
+    if args.step is not None:
+        trace = trace.resampled(args.step)
+    if args.scale is not None:
+        trace = trace.scaled(args.scale)
+    if args.name:
+        trace = MeasuredTrace(name=args.name, nodes=trace.nodes)
+    target = save_trace(trace, args.output)
+    print(
+        f"wrote {trace.num_nodes} node(s), {trace.num_points} breakpoint(s) to {target}"
+    )
+    return 0
+
+
+def _export(args: argparse.Namespace) -> int:
+    # Imported here: repro.experiments.cli imports this module at load time.
+    from repro.experiments.cli import SpecFileError, resolve_entry
+    from repro.experiments.engine import run_scenario
+    from repro.experiments.scenario import apply_override
+
+    try:
+        entry = resolve_entry(args.scenario)
+    except SpecFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    spec = entry.base
+    if args.duration is not None:
+        spec = replace(spec, duration=args.duration)
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
+    for assignment in args.overrides:
+        path, _, value = assignment.partition("=")
+        if not path or not _:
+            print(f"error: expected PATH=VALUE, got {assignment!r}", file=sys.stderr)
+            return 2
+        try:
+            parsed = json.loads(value)
+        except json.JSONDecodeError:
+            parsed = value
+        spec = apply_override(spec, path, parsed)
+    telemetry = spec.telemetry
+    spec = replace(
+        spec,
+        telemetry=TelemetrySpec(
+            enabled=True,
+            interval=args.interval if args.interval is not None else telemetry.interval,
+            out_dir=args.out if args.out is not None else telemetry.out_dir,
+        ),
+    )
+    result = run_scenario(spec)
+    if args.json:
+        payload = {
+            "scenario": entry.name,
+            "telemetry_path": result.telemetry_path,
+            "summary": result.summary(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    summary = result.summary()
+    print(f"scenario {entry.name}: ran {spec.duration:g} virtual seconds")
+    for key in ("protocol", "num_nodes", "mean_throughput", "delivered_epochs"):
+        if key in summary:
+            print(f"  {key} = {summary[key]}")
+    print(f"telemetry written to {result.telemetry_path}")
+    return 0
+
+
+__all__ = ["add_trace_parser", "run_trace_command"]

@@ -1,0 +1,222 @@
+"""Reading and writing measured-bandwidth trace files.
+
+Two interchangeable on-disk formats, chosen by file extension:
+
+* **CSV** (``.csv``) — the measurement-campaign shape: a header line
+  ``time,node,up_bps,down_bps`` followed by one breakpoint per row.  Rows
+  may arrive grouped by node or interleaved by time; within a node the
+  times must be strictly increasing.
+* **JSON** (``.json``) — the structured shape::
+
+      {"format": "repro-trace-v1",
+       "name": "wan-measured",
+       "nodes": {"0": [[0.0, 2000000, 4000000], ...], ...}}
+
+Both parse into the same :class:`~repro.trace.model.MeasuredTrace` and
+``convert`` between each other losslessly (module floats formatting).  Every
+parse error is raised as :class:`~repro.common.errors.TraceError` with the
+offending line or key named, so the CLI can report it in one line.
+
+Bundled example traces live under ``traces/`` at the repository root;
+:func:`resolve_trace_path` makes the catalog's relative paths
+(``traces/wan-measured.csv``) work regardless of the working directory, and
+:func:`load_trace_cached` keeps repeated scenario points (grid sweeps, the
+golden suite) from re-reading and re-validating the same file.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from functools import lru_cache
+from pathlib import Path
+
+from repro.common.errors import TraceError
+from repro.trace.model import MeasuredTrace, TracePoint
+
+#: The exact CSV header every trace file starts with.
+CSV_HEADER = ("time", "node", "up_bps", "down_bps")
+
+#: The JSON format tag (reserved for future schema evolution).
+JSON_FORMAT = "repro-trace-v1"
+
+#: Repository root (three levels above ``src/repro/trace``): relative trace
+#: paths that do not resolve against the working directory are retried here,
+#: so ``traces/wan-measured.csv`` works from any directory.
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def parse_csv(text: str, name: str = "trace") -> MeasuredTrace:
+    """Parse the CSV trace format (see module docstring)."""
+    reader = csv.reader(io.StringIO(text))
+    rows = [(number, row) for number, row in enumerate(reader, start=1) if row]
+    if not rows:
+        raise TraceError(f"trace {name!r}: empty CSV file")
+    header_number, header = rows[0]
+    if tuple(cell.strip() for cell in header) != CSV_HEADER:
+        raise TraceError(
+            f"trace {name!r} line {header_number}: header must be "
+            f"{','.join(CSV_HEADER)!r}, got {','.join(header)!r}"
+        )
+    per_node: dict[int, list[TracePoint]] = {}
+    for number, row in rows[1:]:
+        if len(row) != 4:
+            raise TraceError(
+                f"trace {name!r} line {number}: expected 4 columns, got {len(row)}"
+            )
+        time_text, node_text, up_text, down_text = (cell.strip() for cell in row)
+        try:
+            node = int(node_text)
+        except ValueError:
+            raise TraceError(
+                f"trace {name!r} line {number}: node id {node_text!r} is not an integer"
+            ) from None
+        try:
+            point = (float(time_text), float(up_text), float(down_text))
+        except ValueError as exc:
+            raise TraceError(f"trace {name!r} line {number}: {exc}") from None
+        per_node.setdefault(node, []).append(point)
+    return MeasuredTrace.from_node_rates(name, per_node)
+
+
+def to_csv_text(trace: MeasuredTrace) -> str:
+    """Serialise a trace to the CSV format (rows grouped by node)."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(CSV_HEADER)
+    for node in trace.nodes:
+        for time, up, down in node.points:
+            writer.writerow([_number(time), node.node, _number(up), _number(down)])
+    return out.getvalue()
+
+
+def parse_json(text: str, name: str = "trace") -> MeasuredTrace:
+    """Parse the JSON trace format (see module docstring)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace {name!r}: invalid JSON: {exc}") from None
+    if not isinstance(payload, dict) or not isinstance(payload.get("nodes"), dict):
+        raise TraceError(f"trace {name!r}: expected an object with a 'nodes' mapping")
+    declared = payload.get("format", JSON_FORMAT)
+    if declared != JSON_FORMAT:
+        raise TraceError(f"trace {name!r}: unsupported format {declared!r}")
+    per_node: dict[int, list[TracePoint]] = {}
+    for key, points in payload["nodes"].items():
+        try:
+            node = int(key)
+        except (TypeError, ValueError):
+            raise TraceError(f"trace {name!r}: node key {key!r} is not an integer") from None
+        if not isinstance(points, list):
+            raise TraceError(f"trace {name!r}: node {key} breakpoints must be a list")
+        parsed: list[TracePoint] = []
+        for index, point in enumerate(points):
+            if not isinstance(point, (list, tuple)) or len(point) != 3:
+                raise TraceError(
+                    f"trace {name!r}: node {key} breakpoint #{index} must be "
+                    f"[time, up_bps, down_bps]"
+                )
+            try:
+                parsed.append((float(point[0]), float(point[1]), float(point[2])))
+            except (TypeError, ValueError):
+                raise TraceError(
+                    f"trace {name!r}: node {key} breakpoint #{index} has a "
+                    f"non-numeric field: {point!r}"
+                ) from None
+        per_node[node] = parsed
+    return MeasuredTrace.from_node_rates(str(payload.get("name", name)), per_node)
+
+
+def to_json_text(trace: MeasuredTrace) -> str:
+    """Serialise a trace to the JSON format."""
+    payload = {
+        "format": JSON_FORMAT,
+        "name": trace.name,
+        "nodes": {
+            str(node.node): [[_number(t), _number(u), _number(d)] for t, u, d in node.points]
+            for node in trace.nodes
+        },
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _number(value: float) -> float | int:
+    """Integral floats serialise as ints so files stay diff-friendly."""
+    return int(value) if float(value).is_integer() else value
+
+
+def _parser_for(path: Path):
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return parse_csv, to_csv_text
+    if suffix == ".json":
+        return parse_json, to_json_text
+    raise TraceError(f"trace file {str(path)!r}: unsupported extension (use .csv or .json)")
+
+
+def resolve_trace_path(path: str | Path) -> Path:
+    """Resolve ``path`` against the working directory, then the repo root."""
+    candidate = Path(path)
+    if candidate.exists():
+        return candidate
+    if not candidate.is_absolute():
+        bundled = REPO_ROOT / candidate
+        if bundled.exists():
+            return bundled
+    raise TraceError(
+        f"trace file {str(path)!r} not found (tried the working directory "
+        f"and {str(REPO_ROOT)!r})"
+    )
+
+
+def load_trace(path: str | Path) -> MeasuredTrace:
+    """Load and validate a trace file (format by extension)."""
+    resolved = resolve_trace_path(path)
+    parse, _ = _parser_for(resolved)
+    try:
+        text = resolved.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {str(resolved)!r}: {exc}") from exc
+    return parse(text, name=resolved.stem)
+
+
+def save_trace(trace: MeasuredTrace, path: str | Path) -> Path:
+    """Write a trace to ``path`` (format by extension); returns the path."""
+    target = Path(path)
+    _, serialise = _parser_for(target)
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(serialise(trace), encoding="utf-8")
+    except OSError as exc:
+        raise TraceError(f"cannot write trace file {str(target)!r}: {exc}") from exc
+    return target
+
+
+@lru_cache(maxsize=64)
+def _load_cached(resolved: str) -> MeasuredTrace:
+    return load_trace(resolved)
+
+
+def load_trace_cached(path: str | Path) -> MeasuredTrace:
+    """Like :func:`load_trace` with an LRU cache on the resolved path.
+
+    Scenario sweeps and the golden suite hit the same bundled file once per
+    point; the cache makes that one parse + validation total.  Traces are
+    immutable (frozen dataclasses), so sharing the object is safe.
+    """
+    return _load_cached(str(resolve_trace_path(path)))
+
+
+__all__ = [
+    "CSV_HEADER",
+    "JSON_FORMAT",
+    "load_trace",
+    "load_trace_cached",
+    "parse_csv",
+    "parse_json",
+    "resolve_trace_path",
+    "save_trace",
+    "to_csv_text",
+    "to_json_text",
+]

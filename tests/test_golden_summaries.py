@@ -7,11 +7,16 @@ behaviour change anywhere in the stack — event loop, pipes, codec, protocol
 logic, summary schema — shows up as a snapshot diff; perf-only PRs must
 leave every file untouched.
 
-Regenerate after an intentional behaviour change with::
+The suite is two-tier: scenarios in ``SLOW_GOLDEN`` are marked ``slow`` and
+deselected from plain ``pytest`` runs (see ``pytest.ini``), so the local
+tier-1 loop verifies the fast tier only; CI runs both tiers with
+``-m golden``.  Regenerate **all** snapshots after an intentional behaviour
+change with::
 
-    PYTHONPATH=src python -m pytest tests/test_golden_summaries.py --update-golden
+    PYTHONPATH=src python -m pytest tests/test_golden_summaries.py -m golden --update-golden
 
-and commit the diff alongside the change that caused it.
+(the ``-m golden`` overrides the default ``-m "not slow"`` so the slow tier
+regenerates too) and commit the diff alongside the change that caused it.
 """
 
 from __future__ import annotations
@@ -21,7 +26,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.golden import canonical_json, golden_names, golden_payload
+from repro.experiments.golden import (
+    SLOW_GOLDEN,
+    canonical_json,
+    golden_names,
+    golden_payload,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -35,7 +45,18 @@ def test_every_snapshot_belongs_to_a_scenario():
     assert on_disk <= known, f"stale golden files: {sorted(on_disk - known)}"
 
 
-@pytest.mark.parametrize("name", golden_names())
+def test_slow_tier_names_real_scenarios():
+    """The slow tier is a subset of the catalog (no stale names)."""
+    assert SLOW_GOLDEN <= set(golden_names()), sorted(SLOW_GOLDEN - set(golden_names()))
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        pytest.param(name, marks=[pytest.mark.slow] if name in SLOW_GOLDEN else [])
+        for name in golden_names()
+    ],
+)
 def test_golden_summary(name: str, update_golden: bool):
     path = GOLDEN_DIR / f"{name}.json"
     text = canonical_json(golden_payload(name))

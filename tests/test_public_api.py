@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.honeybadger",
     "repro.metrics",
     "repro.sim",
+    "repro.trace",
     "repro.vid",
     "repro.workload",
 ]
@@ -52,6 +53,13 @@ INTENTIONAL_SURFACE = {
     "repro.honeybadger": ["HoneyBadgerLinkNode", "HoneyBadgerNode"],
     "repro.metrics": ["MetricsCollector"],
     "repro.sim": ["Network", "NetworkConfig", "Simulator"],
+    "repro.trace": [
+        "MeasuredTrace",
+        "TelemetrySpec",
+        "TraceRecorder",
+        "load_trace",
+        "save_trace",
+    ],
     "repro.vid": ["AvidMInstance", "RealCodec", "VirtualCodec"],
     "repro.workload": [
         "AWS_CITIES",
