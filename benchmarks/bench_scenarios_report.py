@@ -67,11 +67,17 @@ def run_report(base: ScenarioSpec = BASE, grid: dict = GRID) -> dict:
         "cpus": os.cpu_count() or 1,
         "workers": parallel.workers,
         "events_processed": events,
+        "tx_generated": serial.tx_generated,
+        "tx_committed": serial.tx_committed,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "parallel_speedup": serial_seconds / parallel_seconds,
         "serial_events_per_second": events / serial_seconds,
         "parallel_events_per_second": events / parallel_seconds,
+        # Transactions per wall-clock second through the whole sweep — the
+        # data-plane throughput figures the columnar work targets.
+        "tx_generated_per_s": serial.tx_generated / serial_seconds,
+        "tx_committed_per_s": serial.tx_committed / serial_seconds,
     }
 
 

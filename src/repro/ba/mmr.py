@@ -42,6 +42,11 @@ class _RoundState:
 
     bval_senders: dict[int, set[int]] = field(default_factory=lambda: {0: set(), 1: set()})
     aux_values: dict[int, int] = field(default_factory=dict)
+    #: ``{sender: value}`` for AUX votes whose value is inside ``bin_values``
+    #: — the dict the N - f quorum rule counts.  Maintained incrementally
+    #: (on AUX arrival and on ``bin_values`` promotion) so the rule never
+    #: rescans ``aux_values``.
+    valid_aux: dict[int, int] = field(default_factory=dict)
     bval_sent: set[int] = field(default_factory=set)
     aux_sent: bool = False
     bin_values: set[int] = field(default_factory=set)
@@ -98,11 +103,12 @@ class BinaryAgreement:
         """Dispatch one incoming message for this instance."""
         if self.halted:
             return
-        if isinstance(msg, BValMsg):
+        kind = type(msg)
+        if kind is BValMsg:
             self._on_bval(src, msg)
-        elif isinstance(msg, AuxMsg):
+        elif kind is AuxMsg:
             self._on_aux(src, msg)
-        elif isinstance(msg, DecidedMsg):
+        elif kind is DecidedMsg:
             self._on_decided(src, msg)
 
     # ------------------------------------------------------------------
@@ -110,7 +116,12 @@ class BinaryAgreement:
     # ------------------------------------------------------------------
 
     def _round(self, round_number: int) -> _RoundState:
-        return self._rounds.setdefault(round_number, _RoundState())
+        # Not ``setdefault(rn, _RoundState())``: that would build (and
+        # usually discard) a fresh state object on every message.
+        state = self._rounds.get(round_number)
+        if state is None:
+            state = self._rounds[round_number] = _RoundState()
+        return state
 
     def _broadcast_bval(self, round_number: int, value: int) -> None:
         state = self._round(round_number)
@@ -125,8 +136,19 @@ class BinaryAgreement:
         if msg.value not in (0, 1) or msg.round_number < self.round_number:
             return
         state = self._round(msg.round_number)
-        state.bval_senders[msg.value].add(src)
+        senders = state.bval_senders[msg.value]
+        if src in senders:
+            return  # duplicate vote: no state change, nothing can fire
+        senders.add(src)
         if not self._started:
+            return
+        # The echo and promote rules fire exactly when the supporter count
+        # first reaches f + 1 resp. 2f + 1, and no other round state changed
+        # here — between crossings the (idempotent) rule sweep is a no-op, so
+        # skip it.  A crossing that happens while the round is not current is
+        # picked up by the full sweep ``_advance_to`` runs on round entry.
+        count = len(senders)
+        if count != self.params.small_quorum and count != self.params.ready_threshold:
             return
         self._evaluate_round(msg.round_number)
 
@@ -134,8 +156,17 @@ class BinaryAgreement:
         if msg.value not in (0, 1) or msg.round_number < self.round_number:
             return
         state = self._round(msg.round_number)
-        state.aux_values.setdefault(src, msg.value)
+        if src in state.aux_values:
+            return  # one AUX per sender per round counts
+        state.aux_values[src] = msg.value
+        if msg.value not in state.bin_values:
+            # Not (yet) a valid vote; it joins valid_aux if the value is
+            # promoted later.  Nothing the quorum rule counts changed.
+            return
+        state.valid_aux[src] = msg.value
         if not self._started:
+            return
+        if len(state.valid_aux) < self.params.quorum:
             return
         self._evaluate_round(msg.round_number)
 
@@ -152,6 +183,11 @@ class BinaryAgreement:
                 self._broadcast_bval(round_number, value)
             if len(senders) >= self.params.ready_threshold and value not in state.bin_values:
                 state.bin_values.add(value)
+                # AUX votes for this value, parked while it was outside
+                # bin_values, become valid now.
+                for sender, aux_value in state.aux_values.items():
+                    if aux_value == value:
+                        state.valid_aux[sender] = aux_value
                 if not state.aux_sent:
                     state.aux_sent = True
                     self.ctx.broadcast(
@@ -163,11 +199,7 @@ class BinaryAgreement:
 
         # Rule: once N - f AUX votes carry values inside bin_values, conclude
         # the round with the common coin.
-        valid_aux = {
-            sender: value
-            for sender, value in state.aux_values.items()
-            if value in state.bin_values
-        }
+        valid_aux = state.valid_aux
         if len(valid_aux) < self.params.quorum:
             return
         carried_values = set(valid_aux.values())
@@ -208,6 +240,8 @@ class BinaryAgreement:
         if msg.value not in (0, 1):
             return
         senders = self._decided_senders[msg.value]
+        if src in senders:
+            return  # duplicate: counts unchanged, rules re-check nothing new
         senders.add(src)
         if len(senders) >= self.params.small_quorum and self.decided is None:
             self._decide(msg.value)

@@ -17,6 +17,14 @@ class VIDInstanceId:
     epoch: int
     proposer: int
 
+    def __post_init__(self) -> None:
+        # Instance ids key the per-node automaton dicts, so they are hashed
+        # on every message delivery; cache the hash once.
+        object.__setattr__(self, "_hash", hash((self.epoch, self.proposer)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:
         return f"VID(e={self.epoch}, p={self.proposer})"
 
@@ -27,6 +35,12 @@ class BAInstanceId:
 
     epoch: int
     slot: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.epoch, self.slot)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         return f"BA(e={self.epoch}, s={self.slot})"

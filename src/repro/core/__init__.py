@@ -21,24 +21,29 @@ from repro.core.config import NodeConfig
 from repro.core.epoch import EpochState
 from repro.core.ledger import DeliveredBlock, Ledger
 from repro.core.linking import compute_linking_targets, linked_slots
-from repro.core.mempool import Mempool
+from repro.core.mempool import MEMPOOLS, ColumnarMempool, Mempool, create_mempool
 from repro.core.node import DispersedLedgerNode, DLCoupledNode
 from repro.core.node_base import BFTNodeBase
 from repro.core.state_machine import KeyValueStateMachine, decode_operation, encode_operation
+from repro.core.txbatch import TxBatch
 
 __all__ = [
     "BFTNodeBase",
     "Block",
+    "ColumnarMempool",
     "DLCoupledNode",
     "DeliveredBlock",
     "DispersedLedgerNode",
     "EpochState",
     "KeyValueStateMachine",
     "Ledger",
+    "MEMPOOLS",
     "Mempool",
     "NodeConfig",
     "Transaction",
+    "TxBatch",
     "compute_linking_targets",
+    "create_mempool",
     "decode_operation",
     "encode_operation",
     "linked_slots",

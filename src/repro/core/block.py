@@ -19,6 +19,8 @@ import hashlib
 import struct
 from dataclasses import dataclass
 
+from repro.core.txbatch import TxBatch
+
 _TX_HEADER = struct.Struct(">QIId")
 _BLOCK_HEADER = struct.Struct(">IQI I".replace(" ", ""))
 _V_ENTRY = struct.Struct(">q")
@@ -52,17 +54,39 @@ class Transaction:
 
 @dataclass(frozen=True)
 class Block:
-    """A proposed block: transactions plus the proposer's observation array."""
+    """A proposed block: transactions plus the proposer's observation array.
+
+    The transaction payload comes in one of two interchangeable forms:
+    ``transactions`` (a tuple of :class:`Transaction` objects — the object
+    data plane) or ``tx_batch`` (a columnar :class:`TxBatch` — the
+    struct-of-arrays data plane).  At most one is populated.  Both forms
+    produce identical ``size``/``digest``/``serialize`` bytes for the same
+    logical transactions, so the choice never leaks onto the wire.
+    """
 
     proposer: int
     epoch: int
     transactions: tuple[Transaction, ...] = ()
     v_array: tuple[int, ...] = ()
     label: str = ""
+    tx_batch: TxBatch | None = None
+
+    def __post_init__(self) -> None:
+        if self.transactions and self.tx_batch is not None:
+            raise ValueError("a block carries either transactions or tx_batch, not both")
+
+    @property
+    def num_transactions(self) -> int:
+        """Number of client transactions carried, whichever the data plane."""
+        if self.tx_batch is not None:
+            return self.tx_batch.count
+        return len(self.transactions)
 
     @property
     def payload_bytes(self) -> int:
         """Bytes of client transaction payload carried by this block."""
+        if self.tx_batch is not None:
+            return self.tx_batch.total_bytes
         return sum(tx.size for tx in self.transactions)
 
     @property
@@ -71,19 +95,29 @@ class Block:
         return (
             BLOCK_OVERHEAD
             + len(self.v_array) * _V_ENTRY.size
-            + sum(TX_OVERHEAD + tx.size for tx in self.transactions)
+            + TX_OVERHEAD * self.num_transactions
+            + self.payload_bytes
         )
 
     @property
     def is_empty(self) -> bool:
-        return not self.transactions
+        return self.num_transactions == 0
+
+    def all_transactions(self) -> tuple[Transaction, ...]:
+        """The carried transactions as objects (materialises a columnar batch)."""
+        if self.tx_batch is not None:
+            return tuple(self.tx_batch.as_transactions())
+        return self.transactions
 
     def digest(self) -> bytes:
         """A stable digest identifying the block (used by the virtual codec)."""
         material = struct.pack(">IQ", self.proposer, self.epoch)
-        material += struct.pack(">I", len(self.transactions))
-        for tx in self.transactions:
-            material += struct.pack(">QI", tx.tx_id, tx.size)
+        material += struct.pack(">I", self.num_transactions)
+        if self.tx_batch is not None:
+            material += self.tx_batch.digest_material()
+        else:
+            for tx in self.transactions:
+                material += struct.pack(">QI", tx.tx_id, tx.size)
         material += b"".join(struct.pack(">q", entry) for entry in self.v_array)
         return hashlib.sha256(material).digest()
 
@@ -93,11 +127,11 @@ class Block:
         """Encode the block to bytes for dispersal through the real codec."""
         parts = [
             _BLOCK_HEADER.pack(
-                self.proposer, self.epoch, len(self.transactions), len(self.v_array)
+                self.proposer, self.epoch, self.num_transactions, len(self.v_array)
             )
         ]
         parts.extend(_V_ENTRY.pack(entry) for entry in self.v_array)
-        for tx in self.transactions:
+        for tx in self.all_transactions():
             parts.append(_TX_HEADER.pack(tx.tx_id, tx.origin, tx.size, tx.created_at))
             data = tx.data if tx.data else b"\x00" * tx.size
             parts.append(data)

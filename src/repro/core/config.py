@@ -48,6 +48,11 @@ class NodeConfig:
         retrieval_uses_priority: mark retrieval traffic with the low-priority
             class (True for DispersedLedger; HoneyBadger has no separate
             retrieval phase competing with dispersal so the flag is moot).
+        mempool: ``"object"`` for the per-``Transaction`` deque mempool,
+            ``"columnar"`` for the struct-of-arrays mempool that queues
+            :class:`~repro.core.txbatch.TxBatch` runs and slices block
+            contents as index ranges (the million-transaction workloads).
+            Any key registered in :data:`repro.core.mempool.MEMPOOLS` works.
         retrieve_blocks: the "low-bandwidth mode" sketched in S1 of the paper:
             when False, the node participates fully in dispersal and agreement
             (storing its chunks and voting, thereby contributing to the
@@ -68,6 +73,7 @@ class NodeConfig:
     propose_empty_when_idle: bool = True
     retrieval_uses_priority: bool = True
     retrieve_blocks: bool = True
+    mempool: str = "object"
 
     def __post_init__(self) -> None:
         if self.data_plane not in (REAL_PLANE, VIRTUAL_PLANE):
@@ -75,6 +81,11 @@ class NodeConfig:
                 f"data_plane must be '{REAL_PLANE}' or '{VIRTUAL_PLANE}', "
                 f"got {self.data_plane!r}"
             )
+        # Validated against the MEMPOOLS registry lazily (at node construction)
+        # to avoid a config -> mempool -> block import cycle; reject the
+        # obviously malformed here.
+        if not self.mempool or not isinstance(self.mempool, str):
+            raise ConfigurationError("mempool must be a non-empty registry key")
         if self.nagle_delay < 0:
             raise ConfigurationError("nagle_delay must be non-negative")
         if self.nagle_size < 0:

@@ -36,7 +36,7 @@ class DeliveredBlock:
 
     @property
     def num_transactions(self) -> int:
-        return len(self.block.transactions)
+        return self.block.num_transactions
 
 
 @dataclass
@@ -84,8 +84,13 @@ class Ledger:
         return [entry.block.digest() for entry in self.entries]
 
     def transactions(self) -> list:
-        """All delivered transactions in delivery order."""
+        """All delivered transactions in delivery order.
+
+        Columnar blocks are materialised into :class:`Transaction` objects;
+        callers that only need counts/bytes at scale should use
+        :attr:`num_transactions` / :attr:`total_payload_bytes` instead.
+        """
         txs = []
         for entry in self.entries:
-            txs.extend(entry.block.transactions)
+            txs.extend(entry.block.all_transactions())
         return txs

@@ -39,7 +39,8 @@ from repro.core.linking import (
     compute_linking_targets,
     linked_slots,
 )
-from repro.core.mempool import Mempool
+from repro.core.mempool import ColumnarMempool, create_mempool
+from repro.core.txbatch import TxBatch
 from repro.sim.context import NodeContext
 from repro.sim.messages import Message
 from repro.vid.avid_m import AvidMInstance, RetrievalResult
@@ -49,6 +50,14 @@ from repro.vid.messages import VID_MESSAGE_TYPES, ReturnChunkMsg
 #: First epoch number.  The paper indexes epochs from 1 (Fig. 17 initialises
 #: the observation arrays with 0 meaning "no epoch completed yet").
 FIRST_EPOCH = 1
+
+#: Exact-type routing table for :meth:`BFTNodeBase.on_message`.
+_ROUTE_VID = 0
+_ROUTE_BA = 1
+_MESSAGE_ROUTES: dict[type, int] = {
+    **{cls: _ROUTE_VID for cls in VID_MESSAGE_TYPES},
+    **{cls: _ROUTE_BA for cls in BA_MESSAGE_TYPES},
+}
 
 
 class BFTNodeBase:
@@ -93,8 +102,10 @@ class BFTNodeBase:
         else:
             self.codec = VirtualCodec(params)
 
-        self.mempool = Mempool(
-            nagle_delay=self.config.nagle_delay, nagle_size=self.config.nagle_size
+        self.mempool = create_mempool(
+            self.config.mempool,
+            nagle_delay=self.config.nagle_delay,
+            nagle_size=self.config.nagle_size,
         )
         self.ledger = Ledger()
 
@@ -109,6 +120,11 @@ class BFTNodeBase:
         self._epochs: dict[int, EpochState] = {}
         self._vid_instances: dict[VIDInstanceId, AvidMInstance] = {}
         self._ba_instances: dict[BAInstanceId, BinaryAgreement] = {}
+        #: Union of the two dicts above, keyed by instance id (the id types
+        #: never compare equal across protocols), mapping to the automaton's
+        #: *bound* ``handle`` method.  ``on_message`` resolves and dispatches
+        #: with one dict probe and one call on this map.
+        self._automata: dict[Any, Callable[[int, Message], None]] = {}
 
         # Observation state for inter-node linking (S4.3): which VID instances
         # of each proposer have completed, and the contiguous prefix thereof.
@@ -133,10 +149,40 @@ class BFTNodeBase:
 
     def on_message(self, src: int, msg: Message) -> None:
         """Route one incoming protocol message to the owning instance."""
-        if isinstance(msg, VID_MESSAGE_TYPES):
+        # Exact-type dispatch first: two tuple-isinstance checks per message
+        # dominate the routing cost at large N, and protocol messages are
+        # concrete dataclasses.  Subclassed messages fall through to the
+        # isinstance path below.
+        # Fast path: the target automaton already exists — one dict probe on
+        # the combined map (instance id types are disjoint across protocols,
+        # so a VID id can never resolve to a BA automaton or vice versa).
+        # EAFP: every protocol message carries ``instance`` and misses only
+        # happen on the first message of an instance, so the exception path
+        # is orders of magnitude rarer than the hit path it speeds up.
+        try:
+            handle = self._automata[msg.instance]
+        except (AttributeError, KeyError):
+            pass
+        else:
+            handle(src, msg)
+            return
+        kind = _MESSAGE_ROUTES.get(type(msg))
+        if kind == _ROUTE_VID:
+            self._get_vid(msg.instance).handle(src, msg)
+        elif kind == _ROUTE_BA:
+            self._get_ba(msg.instance).handle(src, msg)
+        elif isinstance(msg, VID_MESSAGE_TYPES):
             self._get_vid(msg.instance).handle(src, msg)
         elif isinstance(msg, BA_MESSAGE_TYPES):
             self._get_ba(msg.instance).handle(src, msg)
+
+    #: Scope advertised to the network: :meth:`declines_transfer` can only
+    #: ever return True for these message types, so the delivery hot paths
+    #: skip the Python call for everything else.  A subclass overriding
+    #: ``declines_transfer`` must restate its own scope (the network ignores
+    #: an inherited ``DECLINE_TYPES`` in that case and always consults the
+    #: hook).
+    DECLINE_TYPES = (ReturnChunkMsg,)
 
     def declines_transfer(self, msg: Message) -> bool:
         """Receiver-side cancellation hook for the bandwidth-accurate network.
@@ -158,6 +204,18 @@ class BFTNodeBase:
     def submit_transaction(self, tx: Transaction) -> None:
         """Accept a client transaction into this node's input queue."""
         self.mempool.submit(tx)
+
+    def submit_batch(self, batch: TxBatch) -> None:
+        """Accept a columnar batch of client transactions.
+
+        On a columnar mempool this is the zero-copy fast path; on the object
+        mempool the batch is materialised into :class:`Transaction` objects,
+        so either mempool kind accepts either submission style.
+        """
+        if isinstance(self.mempool, ColumnarMempool):
+            self.mempool.submit_batch(batch)
+        else:
+            self.mempool.submit_many(batch.as_transactions())
 
     def submit_payload(self, data: bytes, now: float | None = None) -> Transaction:
         """Convenience wrapper: wrap raw bytes into a transaction and submit it."""
@@ -195,6 +253,7 @@ class BFTNodeBase:
                 retrieval_rank=float(instance.epoch),
             )
             self._vid_instances[instance] = vid
+            self._automata[instance] = vid.handle
         return vid
 
     def _get_ba(self, instance: BAInstanceId) -> BinaryAgreement:
@@ -208,6 +267,7 @@ class BFTNodeBase:
                 on_output=self._handle_ba_output,
             )
             self._ba_instances[instance] = ba
+            self._automata[instance] = ba.handle
         return ba
 
     def _epoch_state(self, epoch: int) -> EpochState:
@@ -283,19 +343,21 @@ class BFTNodeBase:
     def _make_block(self, epoch: int) -> Block:
         """Assemble the block to propose for ``epoch``."""
         now = self.ctx.now
-        if self._may_include_transactions(epoch):
-            transactions = tuple(
-                self.mempool.take_batch(self.config.max_block_size, now)
-            )
-        else:
-            # DL-Coupled (S4.5): participate with an empty block while lagging.
-            transactions = ()
-            self.mempool.mark_proposal(now)
         v_array = tuple(self._v_prefix) if self.config.linking else ()
+        if not self._may_include_transactions(epoch):
+            # DL-Coupled (S4.5): participate with an empty block while lagging.
+            self.mempool.mark_proposal(now)
+            return Block(proposer=self.node_id, epoch=epoch, v_array=v_array)
+        taken = self.mempool.take_batch(self.config.max_block_size, now)
+        if isinstance(taken, TxBatch):
+            batch = taken if len(taken) else None
+            return Block(
+                proposer=self.node_id, epoch=epoch, v_array=v_array, tx_batch=batch
+            )
         return Block(
             proposer=self.node_id,
             epoch=epoch,
-            transactions=transactions,
+            transactions=tuple(taken),
             v_array=v_array,
         )
 
@@ -496,12 +558,16 @@ class BFTNodeBase:
             not self.config.linking
             and state.own_block is not None
             and self.node_id not in state.committed
-            and state.own_block.transactions
+            and not state.own_block.is_empty
         ):
             # Without inter-node linking (plain HoneyBadger), a dropped block's
             # transactions go back to the head of the queue to be re-proposed
             # in the next epoch (S4.2).
-            self.mempool.requeue_front(state.own_block.transactions)
+            own = state.own_block
+            if own.tx_batch is not None:
+                self.mempool.requeue_front(own.tx_batch)
+            else:
+                self.mempool.requeue_front(own.transactions)
 
     def _deliver_linked_blocks(self, epoch: int, state: EpochState) -> None:
         for linked_epoch, proposer in state.linked_slots:

@@ -1,0 +1,218 @@
+"""Struct-of-arrays transaction batches: the columnar data plane's currency.
+
+The object data plane moves one :class:`~repro.core.block.Transaction` per
+client payment — fine for protocol tests, ruinous at the ROADMAP's
+million-user scale, where allocating, queueing and walking millions of
+Python objects dominates every profile.  A :class:`TxBatch` holds the same
+information as a run of transactions from **one** origin node, but as numpy
+columns (ids, creation times, sizes), so generators emit one batch per
+scheduling window, the mempool slices batches as index ranges, blocks carry
+a batch instead of a transaction tuple, and the metrics collector computes
+latency percentiles straight from the columns.
+
+Batches are **immutable once built** (the arrays are flagged read-only) and
+compare by identity, so they can ride inside frozen dataclasses such as
+:class:`~repro.core.block.Block` without breaking ``__eq__``.  Slicing is
+O(1) — numpy views, no copies — which is what makes the columnar mempool's
+``take_batch`` cheap.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.block import Transaction
+
+#: Dtype matching the per-transaction digest material ``struct.pack(">QI")``
+#: (tx id, size) of :meth:`repro.core.block.Block.digest`, so a columnar
+#: block hashes to exactly the same bytes as its object-path twin.
+_DIGEST_DTYPE = np.dtype([("tx_id", ">u8"), ("size", ">u4")])
+
+#: Dtype matching the wire header ``struct.pack(">QIId")`` (id, origin, size,
+#: created_at) used by the real data plane's block serialisation.
+_HEADER_DTYPE = np.dtype([("tx_id", ">u8"), ("origin", ">u4"), ("size", ">u4"), ("created_at", ">f8")])
+
+
+class TxBatch:
+    """A read-only columnar run of transactions from a single origin node.
+
+    Attributes:
+        origin: the node that generated every transaction in the batch.
+        tx_ids: ``uint64`` column of globally unique transaction ids.
+        created_at: ``float64`` column of submission (arrival) times.
+        sizes: ``int64`` column of wire sizes in bytes.
+    """
+
+    __slots__ = ("origin", "tx_ids", "created_at", "sizes", "_total_bytes", "_cumsum")
+
+    def __init__(
+        self,
+        origin: int,
+        tx_ids: np.ndarray,
+        created_at: np.ndarray,
+        sizes: np.ndarray,
+        total_bytes: int | None = None,
+    ):
+        if not (len(tx_ids) == len(created_at) == len(sizes)):
+            raise ValueError(
+                f"column lengths differ: {len(tx_ids)}/{len(created_at)}/{len(sizes)}"
+            )
+        self.origin = origin
+        self.tx_ids = np.ascontiguousarray(tx_ids, dtype=np.uint64)
+        self.created_at = np.ascontiguousarray(created_at, dtype=np.float64)
+        self.sizes = np.ascontiguousarray(sizes, dtype=np.int64)
+        for column in (self.tx_ids, self.created_at, self.sizes):
+            column.flags.writeable = False
+        self._total_bytes = (
+            int(self.sizes.sum()) if total_bytes is None else int(total_bytes)
+        )
+        self._cumsum: np.ndarray | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls,
+        origin: int,
+        tx_ids: np.ndarray,
+        created_at: np.ndarray,
+        tx_size: int,
+    ) -> "TxBatch":
+        """A batch whose transactions all have the same wire size."""
+        sizes = np.full(len(tx_ids), tx_size, dtype=np.int64)
+        return cls(origin, tx_ids, created_at, sizes, total_bytes=tx_size * len(tx_ids))
+
+    @classmethod
+    def from_transactions(cls, txs: Sequence["Transaction"]) -> "TxBatch":
+        """Columnarise a run of object transactions (they must share an origin)."""
+        if not txs:
+            return cls.empty(0)
+        origins = {tx.origin for tx in txs}
+        if len(origins) != 1:
+            raise ValueError(f"batch must have a single origin, got {sorted(origins)}")
+        return cls(
+            origin=txs[0].origin,
+            tx_ids=np.array([tx.tx_id for tx in txs], dtype=np.uint64),
+            created_at=np.array([tx.created_at for tx in txs], dtype=np.float64),
+            sizes=np.array([tx.size for tx in txs], dtype=np.int64),
+        )
+
+    @classmethod
+    def empty(cls, origin: int) -> "TxBatch":
+        return cls(
+            origin,
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+            total_bytes=0,
+        )
+
+    @classmethod
+    def concat(cls, batches: Iterable["TxBatch"]) -> "TxBatch":
+        """Concatenate same-origin batches into one (used by ``take_batch``)."""
+        parts = [batch for batch in batches if len(batch)]
+        if not parts:
+            return cls.empty(0)
+        if len(parts) == 1:
+            return parts[0]
+        origins = {batch.origin for batch in parts}
+        if len(origins) != 1:
+            raise ValueError(f"cannot concat batches from origins {sorted(origins)}")
+        return cls(
+            parts[0].origin,
+            np.concatenate([batch.tx_ids for batch in parts]),
+            np.concatenate([batch.created_at for batch in parts]),
+            np.concatenate([batch.sizes for batch in parts]),
+            total_bytes=sum(batch.total_bytes for batch in parts),
+        )
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tx_ids)
+
+    @property
+    def count(self) -> int:
+        """Number of transactions in the batch."""
+        return len(self.tx_ids)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total wire bytes of every transaction in the batch."""
+        return self._total_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TxBatch(origin={self.origin}, count={self.count}, bytes={self.total_bytes})"
+
+    def size_cumsum(self) -> np.ndarray:
+        """Cached inclusive prefix sums of ``sizes`` (drives byte-budget cuts)."""
+        if self._cumsum is None:
+            self._cumsum = np.cumsum(self.sizes)
+        return self._cumsum
+
+    # -- slicing -----------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "TxBatch":
+        """The ``[start, stop)`` index range as a zero-copy view batch."""
+        if start == 0 and stop >= len(self):
+            return self
+        cumsum = self.size_cumsum()
+        total = int(cumsum[stop - 1] if stop > 0 else 0) - int(
+            cumsum[start - 1] if start > 0 else 0
+        )
+        return TxBatch(
+            self.origin,
+            self.tx_ids[start:stop],
+            self.created_at[start:stop],
+            self.sizes[start:stop],
+            total_bytes=total,
+        )
+
+    # -- interop with the object plane ------------------------------------
+
+    def as_transactions(self) -> list["Transaction"]:
+        """Materialise the batch as object transactions (tests, real plane)."""
+        from repro.core.block import Transaction
+
+        return [
+            Transaction(
+                tx_id=int(tx_id),
+                origin=self.origin,
+                created_at=float(created),
+                size=int(size),
+            )
+            for tx_id, created, size in zip(self.tx_ids, self.created_at, self.sizes)
+        ]
+
+    def digest_material(self) -> bytes:
+        """Per-transaction digest bytes, identical to the object path's.
+
+        The object path packs ``">QI"`` (tx id, size) per transaction; a
+        single structured-array ``tobytes`` produces the same big-endian
+        layout in one vectorised pass.
+        """
+        material = np.empty(len(self), dtype=_DIGEST_DTYPE)
+        material["tx_id"] = self.tx_ids
+        material["size"] = self.sizes
+        return material.tobytes()
+
+    def serialize_headers(self) -> bytes:
+        """The concatenated ``">QIId"`` wire headers of every transaction."""
+        headers = np.empty(len(self), dtype=_HEADER_DTYPE)
+        headers["tx_id"] = self.tx_ids
+        headers["origin"] = self.origin
+        headers["size"] = self.sizes
+        headers["created_at"] = self.created_at
+        return headers.tobytes()
+
+
+def pack_digest_material(txs: Sequence["Transaction"]) -> bytes:
+    """Object-path equivalent of :meth:`TxBatch.digest_material` (reference)."""
+    return b"".join(struct.pack(">QI", tx.tx_id, tx.size) for tx in txs)
+
+
+__all__ = ["TxBatch", "pack_digest_material"]

@@ -149,6 +149,7 @@ def run_scenario(
         warmup=spec.effective_warmup(),
         adversary=spec.adversary,
         recorder=recorder,
+        max_epochs=spec.max_epochs,
     )
     telemetry_path: str | None = None
     if recorder is not None:
@@ -212,6 +213,20 @@ class SweepResult:
     def events_processed(self) -> int:
         return sum(
             point.result.events_processed for point in self.points if point.result is not None
+        )
+
+    @property
+    def tx_generated(self) -> int:
+        """Transactions injected across every point of the sweep."""
+        return sum(
+            point.result.tx_generated for point in self.points if point.result is not None
+        )
+
+    @property
+    def tx_committed(self) -> int:
+        """Transactions committed across every point of the sweep."""
+        return sum(
+            point.result.tx_committed for point in self.points if point.result is not None
         )
 
     def table(self, columns: Sequence[str] | None = None) -> str:

@@ -91,6 +91,7 @@ GOLDEN_CONFIGS: dict[str, GoldenConfig] = {
     "straggler-hetero": GoldenConfig(duration=2.5, grid={"protocol": ("dl", "hb")}),
     "trace-replay-wan": GoldenConfig(duration=2.5),
     "trace-scale-sweep": GoldenConfig(duration=2.5, grid={"bandwidth.trace_scale": (0.5, 2.0)}),
+    "columnar-scale": GoldenConfig(duration=2.0),
     "mid-run-crash": GoldenConfig(overrides={"adversary.crash_time": 1.5}),
     "bursty-load": GoldenConfig(duration=4.0, overrides={"warmup": 1.0}),
     "latency-fault-matrix": GoldenConfig(
@@ -118,6 +119,7 @@ GOLDEN_CONFIGS: dict[str, GoldenConfig] = {
 SLOW_GOLDEN: frozenset[str] = frozenset(
     {
         "bursty-load",
+        "columnar-scale",
         "fig08-geo",
         "fig10-latency",
         "fig11a-spatial",

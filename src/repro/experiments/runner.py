@@ -31,6 +31,8 @@ from repro.sim.events import Simulator
 from repro.sim.network import Network, NetworkConfig
 from repro.workload.txgen import (
     DEFAULT_TX_SIZE,
+    ColumnarPoissonTransactionGenerator,
+    ColumnarSaturatingTransactionGenerator,
     ModulatedPoissonTransactionGenerator,
     PoissonTransactionGenerator,
     SaturatingTransactionGenerator,
@@ -76,14 +78,19 @@ class WorkloadSpec:
     * ``"bursty"`` — on/off Poisson bursts: load ``rate / duty`` for
       ``duty * period`` seconds of every ``period``, zero otherwise;
     * ``"diurnal"`` — sinusoidal day/night Poisson modulation with relative
-      swing ``amplitude`` over each ``period``.
+      swing ``amplitude`` over each ``period``;
+    * ``"poisson-columnar"`` / ``"saturating-columnar"`` — struct-of-arrays
+      twins of the first two: statistically the same processes, but emitting
+      one :class:`~repro.core.txbatch.TxBatch` per ``window`` (respectively
+      per refill) instead of one event per transaction, for
+      million-transaction runs.
 
     For all Poisson-family workloads ``rate_bytes_per_second`` is the mean
     *per-node* offered load.  ``period``, ``duty`` and ``amplitude`` only
-    apply to the modulated kinds.  ``stop_after`` cuts the client load at
-    that virtual time (``None`` = offered for the whole run), which lets
-    drain-phase scenarios measure how long in-flight transactions take to
-    clear.
+    apply to the modulated kinds; ``window`` only to the columnar Poisson
+    kind.  ``stop_after`` cuts the client load at that virtual time
+    (``None`` = offered for the whole run), which lets drain-phase scenarios
+    measure how long in-flight transactions take to clear.
     """
 
     kind: str = "saturating"
@@ -94,6 +101,7 @@ class WorkloadSpec:
     duty: float = 0.25
     amplitude: float = 0.8
     stop_after: float | None = None
+    window: float = 0.25
 
     def __post_init__(self) -> None:
         if self.kind not in WORKLOADS:
@@ -102,6 +110,8 @@ class WorkloadSpec:
             )
         if self.stop_after is not None and self.stop_after <= 0:
             raise ValueError("stop_after must be positive (or None)")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
 
 
 #: ``factory(sim, node, spec, seed) -> generator`` — builds the per-node load
@@ -169,10 +179,36 @@ def _diurnal(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
     )
 
 
+def _poisson_columnar(sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int):
+    return ColumnarPoissonTransactionGenerator(
+        sim,
+        node,
+        rate_bytes_per_second=spec.rate_bytes_per_second,
+        tx_size=spec.tx_size,
+        seed=_per_node_seed(seed, node),
+        stop_at=spec.stop_after,
+        window=spec.window,
+    )
+
+
+def _saturating_columnar(
+    sim: Simulator, node: BFTNodeBase, spec: WorkloadSpec, seed: int
+):
+    return ColumnarSaturatingTransactionGenerator(
+        sim,
+        node,
+        target_pending_bytes=spec.target_pending_bytes,
+        tx_size=spec.tx_size,
+        stop_at=spec.stop_after,
+    )
+
+
 register_workload("saturating", _saturating)
 register_workload("poisson", _poisson)
 register_workload("bursty", _bursty)
 register_workload("diurnal", _diurnal)
+register_workload("poisson-columnar", _poisson_columnar)
+register_workload("saturating-columnar", _saturating_columnar)
 
 
 @dataclass
@@ -200,6 +236,10 @@ class ExperimentResult:
     mean_block_size: float
     #: Number of simulator events processed (performance accounting).
     events_processed: int = 0
+    #: Total transactions injected by the workload generators.
+    tx_generated: int = 0
+    #: Per-node counts of transactions confirmed (delivered in a block).
+    tx_confirmed_per_node: list[int] = field(default_factory=list)
     #: Adversary-facing measurements (empty when no adversary was placed):
     #: ``adversary_kind`` / ``adversary_nodes`` always, plus per-kind keys —
     #: censor: ``victim``, ``victim_commit_p50`` (median confirmation latency
@@ -211,6 +251,16 @@ class ExperimentResult:
     #: the ``BAD_UPLOADER`` placeholder) and ``bad_uploader_deliveries``.
     adversary_metrics: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+
+    @property
+    def tx_committed(self) -> int:
+        """Transactions committed cluster-wide.
+
+        The most-advanced node's confirmed count — every node eventually
+        delivers the same blocks, so this is the number of distinct
+        transactions known committed at the end of the run.
+        """
+        return max(self.tx_confirmed_per_node, default=0)
 
     @property
     def mean_throughput(self) -> float:
@@ -279,6 +329,7 @@ def run_experiment(
     warmup: float = 0.0,
     adversary: AdversarySpec | None = None,
     recorder: "TraceRecorder | None" = None,
+    max_epochs: int | None = None,
 ) -> ExperimentResult:
     """Run one protocol on one simulated network and summarise the outcome.
 
@@ -310,6 +361,10 @@ def run_experiment(
             behaviour-neutral: the sampling callbacks are uncounted internal
             events that only read state, so the returned result is identical
             with or without it.
+        max_epochs: stop proposing new blocks after this many epochs
+            (``None`` = propose for the whole run).  Bounded-work runs (the
+            million-transaction benchmarks) use this to commit a known
+            transaction count and then let the run drain.
     """
     workload = workload or WorkloadSpec()
     node_config = node_config or NodeConfig()
@@ -324,7 +379,9 @@ def run_experiment(
     sim = Simulator()
     network = Network(sim, network_config)
     collector = MetricsCollector(params.n)
-    nodes = build_nodes(protocol, params, network, node_config, collector)
+    nodes = build_nodes(
+        protocol, params, network, node_config, collector, max_epochs=max_epochs
+    )
 
     silent: frozenset[int] = frozenset()
     placement: tuple[int, ...] = ()
@@ -374,6 +431,10 @@ def run_experiment(
         current_epochs=[node.current_epoch for node in nodes],
         mean_block_size=mean_block_size,
         events_processed=sim.processed_events,
+        tx_generated=sum(generator.generated for generator in generators),
+        tx_confirmed_per_node=[
+            metrics.confirmed_transactions for metrics in collector.per_node
+        ],
         adversary_metrics=adversary_metrics,
     )
 

@@ -69,6 +69,10 @@ class TopologySpec:
             (city topologies).
         egress_headroom: upload-capacity multiple of the (binding) download
             capacity for city topologies (see ``repro.workload.cities``).
+        express: enable the network's express broadcast fan-out fast path
+            (:class:`~repro.sim.network.NetworkConfig` ``express``); uniform
+            topologies with unlimited bandwidth only.  For protocol-logic
+            scalability runs at large N.
     """
 
     kind: str = "uniform"
@@ -77,6 +81,7 @@ class TopologySpec:
     testbed: str = "aws"
     fluctuate: bool = True
     egress_headroom: float = DEFAULT_EGRESS_HEADROOM
+    express: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("uniform", "cities"):
@@ -85,6 +90,8 @@ class TopologySpec:
             raise ConfigurationError("num_nodes must be positive")
         if self.delay < 0:
             raise ConfigurationError("delay must be non-negative")
+        if self.express and self.kind != "uniform":
+            raise ConfigurationError("express broadcast requires a uniform topology")
 
     def resolved_num_nodes(self) -> int:
         if self.kind == "cities":
@@ -306,6 +313,10 @@ class ScenarioSpec:
     warmup_fraction: float = 0.25
     seed: int = 0
     f: int | None = None
+    #: Stop proposing new blocks after this many epochs (``None`` = propose
+    #: for the whole run).  Bounded-work scenarios (the million-transaction
+    #: columnar benchmarks) pin the committed transaction count with this.
+    max_epochs: int | None = None
     block_size: int = 500_000
 
     def __post_init__(self) -> None:
@@ -323,6 +334,16 @@ class ScenarioSpec:
             raise ConfigurationError("warmup must be in [0, duration)")
         if self.block_size <= 0:
             raise ConfigurationError("block_size must be positive")
+        if self.max_epochs is not None and self.max_epochs < 1:
+            raise ConfigurationError("max_epochs must be None or >= 1")
+        if self.topology.express and self.bandwidth.kind != "unlimited":
+            # Fail at spec construction: the network would reject the pairing
+            # anyway, but with less context.
+            raise ConfigurationError(
+                "express topologies model propagation delay only; "
+                'pair them with bandwidth kind "unlimited", not '
+                f"{self.bandwidth.kind!r}"
+            )
         if self.telemetry.enabled and self.kind != "sim":
             # Analytic kinds never build a simulator, so there is nothing to
             # sample; fail at spec construction rather than silently
@@ -407,6 +428,7 @@ def build_network_config(spec: ScenarioSpec) -> NetworkConfig:
         propagation_delay=topology.delay,
         egress_traces=egress,
         ingress_traces=ingress,
+        express=topology.express,
     )
 
 

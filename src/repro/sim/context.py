@@ -77,10 +77,17 @@ class NodeContext:
         """Send ``msg`` to every node (including ourselves unless disabled).
 
         The paper's pseudocode has servers send broadcast messages to
-        themselves as well (Fig. 3 caption), which this mirrors.
+        themselves as well (Fig. 3 caption), which this mirrors.  Routers
+        that implement a native ``broadcast`` (the bandwidth-accurate
+        network, including its express fan-out fast path) receive the whole
+        broadcast in one call; anything else gets the plain send loop.
         """
         router = self._router
         node_id = self.node_id
+        native = getattr(router, "broadcast", None)
+        if native is not None:
+            native(node_id, msg, include_self=include_self, rank=rank)
+            return
         for dst in range(router.num_nodes):
             if dst == node_id and not include_self:
                 continue

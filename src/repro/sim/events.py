@@ -24,6 +24,7 @@ counter so they interleave exactly as scheduled.
 
 from __future__ import annotations
 
+import gc
 import math
 from heapq import heapify, heappop, heappush
 from typing import Callable
@@ -167,6 +168,10 @@ class Simulator:
         """
         self._processed_events += 1
 
+    def count_inline_events(self, count: int) -> None:
+        """Batch form of :meth:`count_inline_event` for fan-out deliveries."""
+        self._processed_events += count
+
     def schedule_event(self, delay: float, callback: Callable[[], None]) -> Event:
         """Like :meth:`schedule`, but returns a cancellable :class:`Event`."""
         if delay < 0:
@@ -198,7 +203,28 @@ class Simulator:
         """Execute events until the queue drains, ``until`` is reached, or
         ``max_events`` events have run.  Returns the virtual time at which the
         run stopped.  Cancelled events are discarded without executing (and
-        without counting against ``max_events``)."""
+        without counting against ``max_events``).
+
+        Python's cyclic garbage collector is suspended for the duration of
+        the loop (and restored after, even on an exception).  The loop
+        allocates at enormous rates but its garbage is acyclic — messages,
+        transfers and heap entries die by refcount as soon as the queue
+        drops them — so collector passes never free anything here; they
+        only pause the run to rescan every live object, which at
+        million-object scenario scales costs ~20% of the whole run.
+        Callers that were already running with the collector disabled are
+        left untouched.
+        """
+        resume_gc = gc.isenabled()
+        if resume_gc:
+            gc.disable()
+        try:
+            return self._run_loop(until, max_events)
+        finally:
+            if resume_gc:
+                gc.enable()
+
+    def _run_loop(self, until: float | None, max_events: int | None) -> float:
         queue = self._queue
         if max_events is None:
             # The two hot shapes (drain everything / run to a horizon) skip

@@ -26,6 +26,7 @@ dispersal-traffic fraction of Fig. 13 is read straight from these counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 from repro.common.errors import ConfigurationError
@@ -79,12 +80,25 @@ class NetworkConfig:
         egress_traces: per-node egress bandwidth traces (bytes/s); ``None``
             entries mean unlimited.
         ingress_traces: per-node ingress bandwidth traces; same convention.
+        express: opt-in broadcast fast path for protocol-scalability studies.
+            A broadcast schedules **one** fan-out event that delivers the
+            message to every recipient inline, instead of one three-hop pipe
+            journey per recipient — collapsing the O(N) scheduler entries per
+            broadcast that dominate large-N runs.  Only valid with unlimited
+            bandwidth and a scalar propagation delay (there are no pipes to
+            queue in and every copy arrives together); per-delivery work is
+            still counted via ``Simulator.count_inline_event`` so events/s
+            stays comparable.  Express delivery changes event interleaving
+            relative to the per-message path (identical arrival *times*,
+            different ordering within a timestamp), so pinned golden
+            scenarios never enable it.
     """
 
     num_nodes: int
     propagation_delay: float | list[list[float]] = 0.1
     egress_traces: list[BandwidthTrace | None] | None = None
     ingress_traces: list[BandwidthTrace | None] | None = None
+    express: bool = False
 
     def delay(self, src: int, dst: int) -> float:
         if isinstance(self.propagation_delay, (int, float)):
@@ -147,9 +161,9 @@ class _MessageTransfer:
             if src != dst:
                 net.stats[dst].received[msg.priority] += msg.wire_size
             net.messages_delivered += 1
-            handler = net._handlers[dst]
-            if handler is not None:
-                handler.on_message(src, msg)
+            deliver = net._on_message[dst]
+            if deliver is not None:
+                deliver(src, msg)
         elif phase == _EGRESS_DONE:
             net.stats[self.src].sent[msg.priority] += msg.wire_size
             delay = net._scalar_delay
@@ -179,8 +193,83 @@ class _MessageTransfer:
         abort = self.abort
         if abort is not None and abort():
             return True
-        decline = self.network._declines[self.dst]
-        return decline is not None and decline(self.msg)
+        net = self.network
+        dst = self.dst
+        decline = net._declines[dst]
+        if decline is None:
+            return False
+        scope = net._decline_types[dst]
+        if scope is not None and type(self.msg) not in scope:
+            return False  # the hook guarantees False for this type
+        return decline(self.msg)
+
+
+def _decline_scope(handler: object) -> tuple | None:
+    """Message types ``handler.declines_transfer`` can ever decline.
+
+    A handler advertises the scope of its decline hook through a
+    ``DECLINE_TYPES`` class attribute — a tuple of message types outside
+    which the hook is guaranteed to return False.  To stay safe under
+    subclassing, the attribute only counts when it is declared on the same
+    class that defines ``declines_transfer``: a subclass overriding the hook
+    without restating its scope gets ``None`` (hook always consulted).
+    """
+    for klass in type(handler).__mro__:
+        if "declines_transfer" in klass.__dict__:
+            scope = klass.__dict__.get("DECLINE_TYPES")
+            return tuple(scope) if scope is not None else None
+    return None
+
+
+class _BroadcastFanout:
+    """One scheduled event delivering an express broadcast to all recipients."""
+
+    __slots__ = ("network", "src", "msg")
+
+    def __init__(self, network: "Network", src: int, msg: Message):
+        self.network = network
+        self.src = src
+        self.msg = msg
+
+    def __call__(self) -> None:
+        net = self.network
+        src = self.src
+        msg = self.msg
+        wire = msg.wire_size
+        priority = msg.priority
+        mtype = type(msg)
+        on_message = net._on_message
+        stats = net.stats
+        num_nodes = net._num_nodes
+        if net._fanout_skips_declines(mtype):
+            # No attached node can decline this type: decline-free tight loop.
+            for dst in range(num_nodes):
+                if dst == src:
+                    continue
+                stats[dst].received[priority] += wire
+                deliver = on_message[dst]
+                if deliver is not None:
+                    deliver(src, msg)
+            delivered = num_nodes - 1
+        else:
+            declines = net._declines
+            decline_types = net._decline_types
+            delivered = 0
+            for dst in range(num_nodes):
+                if dst == src:
+                    continue
+                decline = declines[dst]
+                if decline is not None:
+                    scope = decline_types[dst]
+                    if (scope is None or mtype in scope) and decline(msg):
+                        continue  # dropped before delivery, like the ingress path
+                stats[dst].received[priority] += wire
+                delivered += 1
+                deliver = on_message[dst]
+                if deliver is not None:
+                    deliver(src, msg)
+        net.messages_delivered += delivered
+        net._sim.count_inline_events(delivered)
 
 
 class Network:
@@ -195,6 +284,18 @@ class Network:
                 raise ConfigurationError(
                     f"{traces_name} has {len(traces)} entries for {config.num_nodes} nodes"
                 )
+        if config.express:
+            if not isinstance(config.propagation_delay, (int, float)):
+                raise ConfigurationError(
+                    "express broadcast requires a scalar propagation delay"
+                )
+            for traces_name in ("egress_traces", "ingress_traces"):
+                traces = getattr(config, traces_name)
+                if traces is not None and any(trace is not None for trace in traces):
+                    raise ConfigurationError(
+                        "express broadcast requires unlimited bandwidth "
+                        f"(got {traces_name})"
+                    )
         self._sim = sim
         self._config = config
         self._num_nodes = config.num_nodes
@@ -203,8 +304,23 @@ class Network:
             float(delay) if isinstance(delay, (int, float)) else None
         )
         self._handlers: list[Process | None] = [None] * config.num_nodes
+        #: Per-node bound ``on_message`` methods, resolved at attach time so
+        #: the delivery hot paths skip a per-message attribute lookup.
+        self._on_message: list[Callable[[int, Message], None] | None] = (
+            [None] * config.num_nodes
+        )
         #: Per-node ``declines_transfer`` hooks, resolved at attach time.
         self._declines: list[Callable[[Message], bool] | None] = [None] * config.num_nodes
+        #: Per node: the message types its decline hook can ever return True
+        #: for (``None`` = unknown, always consult the hook).  Lets the hot
+        #: delivery paths skip the Python call for the overwhelming majority
+        #: of messages, which are not declinable at all.
+        self._decline_types: list[tuple | None] = [None] * config.num_nodes
+        #: ``message type -> True`` when *no* attached node can ever decline
+        #: that type (every decline hook is absent or scoped away from it).
+        #: Lets the broadcast fan-out take a decline-free tight loop; rebuilt
+        #: lazily per type and invalidated on attach.
+        self._no_decline_cache: dict[type, bool] = {}
         self._egress = [
             Pipe(sim, config.egress_trace(i)) for i in range(config.num_nodes)
         ]
@@ -247,7 +363,27 @@ class Network:
     def attach(self, node_id: int, handler: Process) -> None:
         """Register the protocol automaton running at ``node_id``."""
         self._handlers[node_id] = handler
+        self._on_message[node_id] = handler.on_message
         self._declines[node_id] = getattr(handler, "declines_transfer", None)
+        self._decline_types[node_id] = _decline_scope(handler)
+        self._no_decline_cache.clear()
+
+    def _fanout_skips_declines(self, mtype: type) -> bool:
+        """True when no attached node's decline hook can fire for ``mtype``.
+
+        A node is decline-free for a type when it has no hook at all, or its
+        advertised ``DECLINE_TYPES`` scope excludes the type.  Any node with
+        an unscoped hook (``None`` scope) forces the conservative answer.
+        The verdict is cached per type; :meth:`attach` invalidates the cache.
+        """
+        cached = self._no_decline_cache.get(mtype)
+        if cached is None:
+            cached = all(
+                decline is None or (scope is not None and mtype not in scope)
+                for decline, scope in zip(self._declines, self._decline_types)
+            )
+            self._no_decline_cache[mtype] = cached
+        return cached
 
     def start(self) -> None:
         """Invoke ``start()`` on every attached automaton at time zero."""
@@ -278,5 +414,66 @@ class Network:
             transfer = _MessageTransfer(self, src, dst, msg, rank, abort, _DELIVER)
             self._sim.schedule(LOOPBACK_DELAY, transfer)
             return
+        if self._config.express:
+            # Unlimited bandwidth: the pipes would pass the message through
+            # untouched, so skip them — one scheduled event per unicast.  A
+            # C-constructed partial replaces the transfer record: at N=256 the
+            # retrieval plane schedules N^3 of these per epoch, so the two
+            # Python frames this saves (``__init__`` + the ``should_abort``
+            # wrapper) are a measurable slice of the whole run.
+            self.stats[src].sent[msg.priority] += msg.wire_size
+            self._sim.schedule(
+                self._scalar_delay, partial(self._express_unicast, src, dst, msg, abort)
+            )
+            return
         transfer = _MessageTransfer(self, src, dst, msg, rank, abort)
         self._egress[src].submit(msg.wire_size, msg.priority, transfer, rank, abort)
+
+    def _express_unicast(
+        self,
+        src: int,
+        dst: int,
+        msg: Message,
+        abort: Callable[[], bool] | None,
+    ) -> None:
+        """Arrival of an express unicast: abort/decline checks, then deliver.
+
+        Same semantics as the ingress leg of the pipe path — the sender-side
+        abort and the receiver's scoped ``declines_transfer`` hook both run
+        before the receiver is charged — but flattened into one callback so
+        the per-message cost is a single Python frame.
+        """
+        if abort is not None and abort():
+            return
+        decline = self._declines[dst]
+        if decline is not None:
+            scope = self._decline_types[dst]
+            if (scope is None or type(msg) in scope) and decline(msg):
+                return
+        self.stats[dst].received[msg.priority] += msg.wire_size
+        self.messages_delivered += 1
+        deliver = self._on_message[dst]
+        if deliver is not None:
+            deliver(src, msg)
+
+    def broadcast(
+        self, src: int, msg: Message, include_self: bool = True, rank: float = 0.0
+    ) -> None:
+        """Send ``msg`` from ``src`` to every node.
+
+        On an express network (``NetworkConfig.express``) the off-node copies
+        share one scheduled fan-out event; otherwise this is exactly a loop
+        of :meth:`send`.  The loopback copy always takes the normal local
+        path so self-delivery ordering matches the per-message network.
+        """
+        if not self._config.express:
+            for dst in range(self._num_nodes):
+                if dst == src and not include_self:
+                    continue
+                self.send(src, dst, msg, rank)
+            return
+        if include_self:
+            self.send(src, src, msg, rank)
+        if self._num_nodes > 1:
+            self.stats[src].sent[msg.priority] += msg.wire_size * (self._num_nodes - 1)
+            self._sim.schedule(self._scalar_delay, _BroadcastFanout(self, src, msg))

@@ -17,13 +17,15 @@ Two halves, both new layers over the simulator:
   and derives per-epoch commit and adversary-delivery rows after the run,
   writing JSONL next to the summary.  Recording is opt-in per spec
   (:class:`TelemetrySpec`) and behaviour-neutral: summaries are
-  bit-identical with it on or off.
+  bit-identical with it on or off.  :mod:`repro.trace.analysis` reduces a
+  recorded JSONL to time-weighted queue-depth and utilisation statistics.
 
-CLI: ``python -m repro.experiments trace {inspect,convert,export}``
+CLI: ``python -m repro.experiments trace {inspect,convert,export,summarise}``
 (:mod:`repro.trace.cli`).
 """
 
 from repro.common.errors import TraceError
+from repro.trace.analysis import summarise_node_samples, summarise_telemetry
 from repro.trace.io import (
     load_trace,
     load_trace_cached,
@@ -52,6 +54,8 @@ __all__ = [
     "read_jsonl",
     "resolve_trace_path",
     "save_trace",
+    "summarise_node_samples",
+    "summarise_telemetry",
     "to_csv_text",
     "to_json_text",
 ]

@@ -1,0 +1,116 @@
+"""Summary statistics over recorded telemetry time-series.
+
+:mod:`repro.trace.recorder` samples per-node link state onto a virtual-time
+grid and writes it as JSONL; this module reduces those rows to the numbers
+a person actually asks of a run — how deep did the queues get, how busy
+were the links — without re-running anything.
+
+Two conventions, both time-weighted so irregular grids (clipped runs,
+changed intervals) are handled correctly:
+
+* **Queue depths** are instantaneous snapshots; each sample's value is held
+  until the next sample (a left-continuous step function), so the mean is
+  weighted by the gap *after* each sample and the final sample carries no
+  weight.
+* **Utilisations** are already averages over the interval *preceding* the
+  sample (the recorder derives them from busy-time deltas), so the mean is
+  weighted by the gap *before* each sample — the t = 0 row, whose interval
+  is empty, carries no weight.
+
+All reductions are vectorised over numpy arrays: a long run's telemetry
+(hundreds of thousands of rows) summarises in milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.common.errors import TraceError
+
+#: The sample-row series summarised per node, with their weighting rule.
+_STEP_FIELDS = ("egress_queue", "ingress_queue")
+_INTERVAL_FIELDS = ("egress_util", "ingress_util")
+
+
+def _weighted_stats(values: np.ndarray, weights: np.ndarray) -> dict[str, float]:
+    """Mean (by ``weights``) and max of ``values``; zero-weight mean is 0."""
+    total = float(weights.sum())
+    mean = float((values * weights).sum() / total) if total > 0 else 0.0
+    return {
+        "mean": mean,
+        "max": float(values.max()) if values.size else 0.0,
+    }
+
+
+def summarise_node_samples(rows: list[Mapping[str, Any]]) -> dict[str, Any]:
+    """Summarise one node's ``sample`` rows (already sorted by time)."""
+    t = np.asarray([row["t"] for row in rows], dtype=np.float64)
+    gaps = np.diff(t)
+    if np.any(gaps < 0):
+        raise TraceError("telemetry samples are not sorted by time")
+    # Hold-forward weights for snapshots, hold-backward for interval rates.
+    forward = np.append(gaps, 0.0)
+    backward = np.insert(gaps, 0, 0.0)
+    summary: dict[str, Any] = {
+        "samples": len(rows),
+        "t_start": float(t[0]),
+        "t_end": float(t[-1]),
+    }
+    for name in _STEP_FIELDS:
+        values = np.asarray([row.get(name, 0) for row in rows], dtype=np.float64)
+        summary[name] = _weighted_stats(values, forward)
+    for name in _INTERVAL_FIELDS:
+        values = np.asarray([row.get(name, 0.0) for row in rows], dtype=np.float64)
+        summary[name] = _weighted_stats(values, backward)
+    return summary
+
+
+def summarise_telemetry(rows: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Reduce telemetry rows (as from ``read_jsonl``) to per-node statistics.
+
+    Returns a dict with ``num_nodes``/``interval`` echoed from the meta row
+    (when present), a ``nodes`` list of per-node summaries, and a
+    ``cluster`` aggregate (mean of the per-node means, max of the maxes).
+
+    Raises:
+        TraceError: if the rows contain no ``sample`` rows.
+    """
+    meta: Mapping[str, Any] | None = None
+    per_node: dict[int, list[Mapping[str, Any]]] = {}
+    for row in rows:
+        kind = row.get("kind")
+        if kind == "meta" and meta is None:
+            meta = row
+        elif kind == "sample":
+            per_node.setdefault(int(row["node"]), []).append(row)
+    if not per_node:
+        raise TraceError("no sample rows in telemetry (was recording enabled?)")
+
+    nodes = []
+    for node_id in sorted(per_node):
+        summary = summarise_node_samples(per_node[node_id])
+        summary = {"node": node_id, **summary}
+        nodes.append(summary)
+
+    cluster: dict[str, Any] = {
+        "samples": int(sum(node["samples"] for node in nodes)),
+    }
+    for name in _STEP_FIELDS + _INTERVAL_FIELDS:
+        means = np.asarray([node[name]["mean"] for node in nodes], dtype=np.float64)
+        maxes = np.asarray([node[name]["max"] for node in nodes], dtype=np.float64)
+        cluster[name] = {"mean": float(means.mean()), "max": float(maxes.max())}
+
+    result: dict[str, Any] = {
+        "num_nodes": len(nodes),
+        "nodes": nodes,
+        "cluster": cluster,
+    }
+    if meta is not None:
+        result["recorded_nodes"] = meta.get("num_nodes")
+        result["interval"] = meta.get("interval")
+    return result
+
+
+__all__ = ["summarise_node_samples", "summarise_telemetry"]

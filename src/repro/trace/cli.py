@@ -6,6 +6,7 @@
     python -m repro.experiments trace convert traces/wan-measured.csv /tmp/wan.json
     python -m repro.experiments trace convert in.csv out.csv --step 0.5 --scale 2
     python -m repro.experiments trace export trace-replay-wan --out telemetry
+    python -m repro.experiments trace summarise telemetry/trace-replay-wan-base-seed7.jsonl
 
 * ``inspect`` prints per-node statistics of a trace file (breakpoints,
   duration, time-weighted mean/min/max rates), or the same as JSON.
@@ -16,6 +17,9 @@
   ``run`` — with telemetry forced on and reports where the JSONL landed.
   Only the base point runs (grids are a ``run`` concern); ``--set``,
   ``--duration`` and ``--seed`` compose like they do for ``run``.
+* ``summarise`` reduces a recorded telemetry JSONL (as written by
+  ``export``) to time-weighted queue-depth and link-utilisation statistics,
+  per node and cluster-wide, as a table or JSON.
 
 Every user error (missing file, malformed trace, bad scenario) is reported
 as a one-line ``error:`` on stderr with exit status 2, never a traceback.
@@ -83,6 +87,15 @@ def add_trace_parser(subparsers) -> None:
     )
     export.add_argument("--json", action="store_true", help="emit the summary as JSON")
 
+    summarise = nested.add_parser(
+        "summarise", help="time-weighted queue/utilisation stats from telemetry JSONL"
+    )
+    summarise.add_argument("telemetry", help="path to a telemetry .jsonl file (from `export`)")
+    summarise.add_argument(
+        "--node", type=int, default=None, help="restrict the table to one node id"
+    )
+    summarise.add_argument("--json", action="store_true", help="emit the statistics as JSON")
+
 
 def run_trace_command(args: argparse.Namespace) -> int:
     """Dispatch one parsed ``trace`` invocation; returns the exit status."""
@@ -91,6 +104,8 @@ def run_trace_command(args: argparse.Namespace) -> int:
             return _inspect(args)
         if args.trace_command == "convert":
             return _convert(args)
+        if args.trace_command == "summarise":
+            return _summarise(args)
         return _export(args)
     except (TraceError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -196,6 +211,52 @@ def _export(args: argparse.Namespace) -> int:
         if key in summary:
             print(f"  {key} = {summary[key]}")
     print(f"telemetry written to {result.telemetry_path}")
+    return 0
+
+
+def _summarise(args: argparse.Namespace) -> int:
+    from repro.trace.analysis import summarise_telemetry
+    from repro.trace.recorder import read_jsonl
+
+    try:
+        rows = read_jsonl(args.telemetry)
+    except OSError as exc:
+        raise TraceError(f"cannot read telemetry file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"malformed telemetry JSONL {args.telemetry}: {exc}") from exc
+    summary = summarise_telemetry(rows)
+    if args.node is not None:
+        nodes = [node for node in summary["nodes"] if node["node"] == args.node]
+        if not nodes:
+            raise TraceError(f"node {args.node} has no samples in {args.telemetry}")
+        summary = {**summary, "nodes": nodes}
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    interval = summary.get("interval")
+    print(
+        f"telemetry {args.telemetry}: {summary['num_nodes']} node(s), "
+        f"{summary['cluster']['samples']} sample(s)"
+        + (f", interval {interval:g} s" if interval else "")
+    )
+    header = (
+        f"{'node':>7}  {'samples':>7}  {'egress q mean/max':>18}  "
+        f"{'ingress q mean/max':>18}  {'egress util':>11}  {'ingress util':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows_out = list(summary["nodes"])
+    if args.node is None:
+        rows_out.append({"node": "cluster", "samples": summary["cluster"]["samples"], **summary["cluster"]})
+    for row in rows_out:
+        eq, iq = row["egress_queue"], row["ingress_queue"]
+        eu, iu = row["egress_util"], row["ingress_util"]
+        print(
+            f"{row['node']:>7}  {row['samples']:>7}  "
+            f"{eq['mean']:>8.1f}/{eq['max']:>9.0f}  "
+            f"{iq['mean']:>8.1f}/{iq['max']:>9.0f}  "
+            f"{eu['mean']:>11.3f}  {iu['mean']:>12.3f}"
+        )
     return 0
 
 

@@ -107,11 +107,17 @@ class AvidMInstance:
         self.completed = False
         self._sent_got_chunk = False
         self._sent_ready_roots: set[bytes] = set()
-        self._got_chunk_senders: dict[bytes, set[int]] = {}
-        self._ready_senders: dict[bytes, set[int]] = {}
+        # Distinct-sender vote counts per root.  The seen-sets dedup senders
+        # (one vote each), so a plain counter is enough for the quorum rules
+        # — no per-root sender sets.
+        self._got_chunk_count: dict[bytes, int] = {}
+        self._ready_count: dict[bytes, int] = {}
         self._got_chunk_seen: set[int] = set()
         self._ready_seen: set[int] = set()
         self._pending_requests: list[int] = []
+        #: The answer to a retrieval request — identical (root, chunk) for
+        #: every client, so one message object serves all of them.
+        self._return_msg: ReturnChunkMsg | None = None
 
         # --- retrieval client state (Fig. 4) ---
         self._retrieving = False
@@ -175,15 +181,13 @@ class AvidMInstance:
         if self._retrieving:
             return
         self._retrieving = True
-        for server in range(self.params.n):
-            self._request_chunk(server)
-
-    def _request_chunk(self, server: int) -> None:
-        if server in self._requested:
-            return
-        self._requested.add(server)
-        self.ctx.send(
-            server, RequestChunkMsg(instance=self.instance), rank=self.retrieval_rank
+        # One broadcast, not N unicasts: every server receives the identical
+        # request, and the network's broadcast path delivers in the same
+        # 0..N-1 order the per-server loop did (the express network collapses
+        # it into a single fan-out event).
+        self._requested.update(range(self.params.n))
+        self.ctx.broadcast(
+            RequestChunkMsg(instance=self.instance), rank=self.retrieval_rank
         )
 
     # ------------------------------------------------------------------
@@ -192,17 +196,22 @@ class AvidMInstance:
 
     def handle(self, src: int, msg: Message) -> None:
         """Dispatch one incoming message for this instance."""
-        if isinstance(msg, ChunkMsg):
-            self._on_chunk(src, msg)
-        elif isinstance(msg, GotChunkMsg):
+        # Ordered by per-node message frequency at scale: the quorum
+        # broadcasts (GotChunk, Ready) and retrieval pairs arrive N times per
+        # instance, the dispersal chunk once.  Exact-type checks: these are
+        # concrete dataclasses, never subclassed.
+        kind = type(msg)
+        if kind is GotChunkMsg:
             self._on_got_chunk(src, msg)
-        elif isinstance(msg, ReadyMsg):
+        elif kind is ReadyMsg:
             self._on_ready(src, msg)
-        elif isinstance(msg, RequestChunkMsg):
+        elif kind is RequestChunkMsg:
             self._on_request_chunk(src)
-        elif isinstance(msg, ReturnChunkMsg):
+        elif kind is ReturnChunkMsg:
             self._on_return_chunk(src, msg)
-        elif isinstance(msg, CancelChunkMsg):
+        elif kind is ChunkMsg:
+            self._on_chunk(src, msg)
+        elif kind is CancelChunkMsg:
             self._cancelled_retrievers.add(src)
 
     # --- server side (Fig. 3) ---
@@ -226,20 +235,23 @@ class AvidMInstance:
         if src in self._got_chunk_seen:
             return
         self._got_chunk_seen.add(src)
-        senders = self._got_chunk_senders.setdefault(msg.root, set())
-        senders.add(src)
-        if len(senders) >= self.params.quorum:
+        count = self._got_chunk_count.get(msg.root, 0) + 1
+        self._got_chunk_count[msg.root] = count
+        # The count rises by exactly one per distinct sender, so the quorum
+        # rule fires at the crossing and never needs re-checking (_send_ready
+        # is idempotent anyway).
+        if count == self.params.quorum:
             self._send_ready(msg.root)
 
     def _on_ready(self, src: int, msg: ReadyMsg) -> None:
         if src in self._ready_seen:
             return
         self._ready_seen.add(src)
-        senders = self._ready_senders.setdefault(msg.root, set())
-        senders.add(src)
-        if len(senders) >= self.params.ready_amplify_threshold:
+        count = self._ready_count.get(msg.root, 0) + 1
+        self._ready_count[msg.root] = count
+        if count == self.params.ready_amplify_threshold:
             self._send_ready(msg.root)
-        if len(senders) >= self.params.ready_threshold and not self.completed:
+        if count == self.params.ready_threshold and not self.completed:
             self.chunk_root = msg.root
             self.completed = True
             self._answer_pending_requests()
@@ -280,9 +292,17 @@ class AvidMInstance:
         assert self.my_chunk is not None and self.my_root is not None
         if dst in self._cancelled_retrievers:
             return
+        msg = self._return_msg
+        if msg is None:
+            # my_root/my_chunk are set exactly once, so the message can be
+            # built once and shared across all clients (receivers never
+            # mutate messages).
+            msg = self._return_msg = ReturnChunkMsg(
+                instance=self.instance, root=self.my_root, chunk=self.my_chunk
+            )
         self.ctx.send(
             dst,
-            ReturnChunkMsg(instance=self.instance, root=self.my_root, chunk=self.my_chunk),
+            msg,
             rank=self.retrieval_rank,
             # Drop the transfer (saving the bandwidth) if the client cancels
             # before this chunk reaches the head of the egress queue.  A

@@ -32,6 +32,8 @@ from repro.workload.traces import (
     straggler_rates,
 )
 from repro.workload.txgen import (
+    ColumnarPoissonTransactionGenerator,
+    ColumnarSaturatingTransactionGenerator,
     ModulatedPoissonTransactionGenerator,
     PoissonTransactionGenerator,
     SaturatingTransactionGenerator,
@@ -42,6 +44,8 @@ from repro.workload.txgen import (
 __all__ = [
     "AWS_CITIES",
     "CityProfile",
+    "ColumnarPoissonTransactionGenerator",
+    "ColumnarSaturatingTransactionGenerator",
     "GaussMarkovProcess",
     "ModulatedPoissonTransactionGenerator",
     "PoissonTransactionGenerator",

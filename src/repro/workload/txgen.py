@@ -13,8 +13,11 @@ import math
 import random
 from typing import Callable
 
+import numpy as np
+
 from repro.core.block import Transaction
 from repro.core.node_base import BFTNodeBase
+from repro.core.txbatch import TxBatch
 from repro.sim.events import Simulator
 
 #: Default transaction size in bytes.  The HoneyBadger evaluation (which the
@@ -261,4 +264,135 @@ class SaturatingTransactionGenerator:
             self.generated += 1
             self.generated_bytes += self._tx_size
             missing -= self._tx_size
+        self._sim.schedule(self._interval, self._refill)
+
+
+class ColumnarPoissonTransactionGenerator:
+    """Batched Poisson arrivals: one vectorised draw per scheduling window.
+
+    Statistically the same homogeneous Poisson process as
+    :class:`PoissonTransactionGenerator`, generated window-by-window via the
+    order-statistics property: the number of arrivals in a window of length
+    ``W`` is Poisson(``rate * W``) and, given the count, the arrival times
+    are independent uniforms over the window, sorted.  One numpy draw per
+    window replaces one simulator event per transaction.
+
+    The batch for a window is submitted (as one :class:`TxBatch`) when the
+    window *closes*, so no transaction is ever available to block formation
+    before its stamped arrival time; the price is that availability lags
+    arrival by at most ``window`` seconds.  Latency measurements still use
+    the exact per-transaction arrival stamps.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: BFTNodeBase,
+        rate_bytes_per_second: float,
+        tx_size: int = DEFAULT_TX_SIZE,
+        seed: int | None = None,
+        stop_at: float | None = None,
+        window: float = 0.25,
+    ):
+        if rate_bytes_per_second <= 0:
+            raise ValueError("offered load must be positive")
+        if tx_size <= 0:
+            raise ValueError("transaction size must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._sim = sim
+        self._node = node
+        self._tx_size = tx_size
+        self._rate_tx = rate_bytes_per_second / tx_size
+        self._rng = np.random.default_rng(seed)
+        self._stop_at = stop_at
+        self._window = window
+        self._sequence = 0
+        self.generated = 0
+        self.generated_bytes = 0
+
+    def start(self) -> None:
+        """Open the first scheduling window."""
+        self._sim.schedule(self._window, self._close_window)
+
+    def _close_window(self) -> None:
+        now = self._sim.now
+        start = now - self._window
+        if self._stop_at is not None and start >= self._stop_at:
+            return
+        end = now if self._stop_at is None else min(now, self._stop_at)
+        span = end - start
+        count = int(self._rng.poisson(self._rate_tx * span))
+        if count:
+            arrivals = start + span * self._rng.random(count)
+            arrivals.sort()
+            n = self._node.params.n
+            first = self._sequence + 1
+            tx_ids = (np.arange(first, first + count, dtype=np.uint64)) * np.uint64(
+                n
+            ) + np.uint64(self._node.node_id)
+            self._sequence += count
+            batch = TxBatch.uniform(self._node.node_id, tx_ids, arrivals, self._tx_size)
+            self._node.submit_batch(batch)
+            self.generated += count
+            self.generated_bytes += count * self._tx_size
+        self._sim.schedule(self._window, self._close_window)
+
+
+class ColumnarSaturatingTransactionGenerator:
+    """Batched version of :class:`SaturatingTransactionGenerator`.
+
+    Same refill policy — top the mempool up to ``target_pending_bytes``
+    every ``refill_interval`` — but each top-up is one :class:`TxBatch`
+    built from vectorised id/size columns, so an infinitely-backlogged
+    million-transaction run allocates arrays, not objects.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: BFTNodeBase,
+        target_pending_bytes: int = 8_000_000,
+        tx_size: int = DEFAULT_TX_SIZE,
+        refill_interval: float = 0.05,
+        stop_at: float | None = None,
+    ):
+        if target_pending_bytes <= 0:
+            raise ValueError("target_pending_bytes must be positive")
+        if tx_size <= 0:
+            raise ValueError("transaction size must be positive")
+        if refill_interval <= 0:
+            raise ValueError("refill_interval must be positive")
+        self._sim = sim
+        self._node = node
+        self._target = target_pending_bytes
+        self._tx_size = tx_size
+        self._interval = refill_interval
+        self._stop_at = stop_at
+        self._sequence = 0
+        self.generated = 0
+        self.generated_bytes = 0
+
+    def start(self) -> None:
+        """Fill the mempool immediately and keep it topped up."""
+        self._refill()
+
+    def _refill(self) -> None:
+        now = self._sim.now
+        if self._stop_at is not None and now >= self._stop_at:
+            return
+        missing = self._target - self._node.mempool.pending_bytes
+        if missing > 0:
+            count = -(-missing // self._tx_size)  # ceil division
+            n = self._node.params.n
+            first = self._sequence + 1
+            tx_ids = (np.arange(first, first + count, dtype=np.uint64)) * np.uint64(
+                n
+            ) + np.uint64(self._node.node_id)
+            self._sequence += count
+            created = np.full(count, now, dtype=np.float64)
+            batch = TxBatch.uniform(self._node.node_id, tx_ids, created, self._tx_size)
+            self._node.submit_batch(batch)
+            self.generated += count
+            self.generated_bytes += count * self._tx_size
         self._sim.schedule(self._interval, self._refill)

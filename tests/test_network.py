@@ -116,6 +116,9 @@ class TestStatsAndPriorities:
         sim, network, recorders = build(rate=100.0, delay=0.0)
         order = []
         recorders[1].on_message = lambda src, msg: order.append(msg.priority)
+        # attach() snapshots the handler's bound on_message; re-attach so the
+        # replacement above is the method the network delivers to.
+        network.attach(1, recorders[1])
         # Something already in flight, then a retrieval and a dispersal queue up.
         network.send(0, 1, Message(wire_size=10, priority=Priority.DISPERSAL))
         network.send(0, 1, Message(wire_size=500, priority=Priority.RETRIEVAL))
