@@ -20,6 +20,8 @@ from repro.core.node import DispersedLedgerNode
 class CensoringNode(DispersedLedgerNode):
     """A DispersedLedger node that always votes 0 on ``victim``'s slot."""
 
+    _SNAPSHOT_FIELDS = DispersedLedgerNode._SNAPSHOT_FIELDS + ("victim",)
+
     def __init__(self, *args, victim: int = 0, **kwargs):
         super().__init__(*args, **kwargs)
         if not 0 <= victim < self.params.n:

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+from repro.common.snapshot import SnapshotState
 from repro.sim.messages import Message
 from repro.sim.process import Process
 
 
-class CrashedNode:
+class CrashedNode(SnapshotState):
     """A node that is silent from the start.
 
     It neither proposes nor responds to any message, which is
@@ -15,6 +16,8 @@ class CrashedNode:
     protocol must make progress under, as long as at most ``f`` nodes
     behave this way.
     """
+
+    _SNAPSHOT_FIELDS = ("node_id", "messages_ignored")
 
     def __init__(self, node_id: int):
         self.node_id = node_id
@@ -27,7 +30,7 @@ class CrashedNode:
         self.messages_ignored += 1
 
 
-class CrashAfterNode:
+class CrashAfterNode(SnapshotState):
     """Wraps a correct node and silences it after ``crash_time``.
 
     Before the crash the wrapped node behaves normally; afterwards all
@@ -35,6 +38,8 @@ class CrashAfterNode:
     dispersals, votes and retrievals.  The ``clock`` is anything with a
     ``now`` property (the simulator or the instant router).
     """
+
+    _SNAPSHOT_FIELDS = ("inner", "_clock", "crash_time", "messages_ignored")
 
     def __init__(self, inner: Process, clock, crash_time: float):
         if crash_time < 0:

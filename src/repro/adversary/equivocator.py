@@ -99,6 +99,8 @@ class EquivocatingDisperserNode(DispersedLedgerNode):
     #: Alternative payload dispersed to the non-systematic chunk positions.
     DECOY = b"equivocation-decoy-payload"
 
+    _SNAPSHOT_FIELDS = DispersedLedgerNode._SNAPSHOT_FIELDS + ("split",)
+
     def __init__(self, *args, split: int | None = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.split = split

@@ -14,9 +14,10 @@ from __future__ import annotations
 import hashlib
 
 from repro.common.ids import BAInstanceId
+from repro.common.snapshot import SnapshotState
 
 
-class CommonCoin:
+class CommonCoin(SnapshotState):
     """A deterministic, instance- and round-keyed common coin.
 
     The first two rounds use fixed values (1, then 0) instead of random ones
@@ -30,6 +31,8 @@ class CommonCoin:
 
     #: Fixed coin values for the first rounds (1 first, then 0).
     _BIASED_ROUNDS = (1, 0)
+
+    _SNAPSHOT_FIELDS = ("_seed",)
 
     def __init__(self, seed: bytes = b"dispersedledger-coin"):
         self._seed = seed

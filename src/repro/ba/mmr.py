@@ -30,6 +30,7 @@ from typing import Callable
 
 from repro.common.ids import BAInstanceId
 from repro.common.params import ProtocolParams
+from repro.common.snapshot import SnapshotState
 from repro.sim.context import NodeContext
 from repro.sim.messages import Message
 from repro.ba.coin import CommonCoin
@@ -53,8 +54,25 @@ class _RoundState:
     advanced: bool = False
 
 
-class BinaryAgreement:
+class BinaryAgreement(SnapshotState):
     """One binary-agreement instance at one node."""
+
+    _SNAPSHOT_FIELDS = (
+        "params",
+        "instance",
+        "ctx",
+        "coin",
+        "on_output",
+        "round_number",
+        "estimate",
+        "decided",
+        "halted",
+        "_started",
+        "_sent_decided",
+        "_rounds",
+        "_decided_senders",
+        "rounds_taken",
+    )
 
     def __init__(
         self,

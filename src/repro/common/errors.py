@@ -13,6 +13,10 @@ class TraceError(ConfigurationError):
     """A measured-bandwidth trace file is malformed or cannot be used."""
 
 
+class SnapshotError(ConfigurationError):
+    """A simulation checkpoint is malformed, mismatched, or cannot be taken."""
+
+
 class ProtocolError(ReproError):
     """A protocol automaton received input that violates its contract."""
 

@@ -1,0 +1,95 @@
+"""The :class:`SnapshotState` mixin (dependency-free layer).
+
+Lives under ``repro.common`` so that every layer — ``sim``, ``core``,
+``vid``, ``ba``, ``trace``, ``workload`` — can declare explicit snapshot
+fields without importing ``repro.sim.snapshot`` (which itself imports the
+event loop).  See :mod:`repro.sim.snapshot` for the checkpoint format built
+on top of this.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import SnapshotError
+
+
+def _declared_slots(cls: type) -> set[str]:
+    slots: set[str] = set()
+    for klass in cls.__mro__:
+        declared = klass.__dict__.get("__slots__", ())
+        if isinstance(declared, str):
+            declared = (declared,)
+        slots.update(declared)
+    slots.discard("__dict__")
+    slots.discard("__weakref__")
+    return slots
+
+
+class SnapshotState:
+    """Mixin: explicit ``snapshot_state()/restore_state()`` from a field list.
+
+    A subclass declares ``_SNAPSHOT_FIELDS`` — the complete tuple of instance
+    attributes that make up its durable state.  ``snapshot_state`` fails
+    loudly (:class:`SnapshotError`) if the live object carries an attribute
+    (or declares a slot) that is not listed, so adding a field without
+    updating the snapshot format is caught the first time a checkpoint is
+    attempted, not on a corrupt restore months later.  Fields that are
+    declared but absent (lazily-set attributes) are simply omitted and stay
+    absent after restore.
+
+    The pair doubles as ``__getstate__``/``__setstate__``, so a single deep
+    pickle of the experiment graph — which preserves shared references and
+    cycles via memoisation — routes every participating class through its
+    reviewed field list.
+    """
+
+    __slots__ = ()
+
+    #: Complete list of instance attributes comprising this class's state.
+    _SNAPSHOT_FIELDS: tuple[str, ...] = ()
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Return this object's durable state as a ``field -> value`` dict."""
+        cls = type(self)
+        fields = cls._SNAPSHOT_FIELDS
+        instance_dict = getattr(self, "__dict__", None)
+        if instance_dict is not None:
+            unknown = [name for name in instance_dict if name not in fields]
+            if unknown:
+                raise SnapshotError(
+                    f"{cls.__name__} has undeclared attributes {sorted(unknown)}; "
+                    f"update {cls.__name__}._SNAPSHOT_FIELDS so the checkpoint "
+                    "format stays complete"
+                )
+        undeclared_slots = [name for name in _declared_slots(cls) if name not in fields]
+        if undeclared_slots:
+            raise SnapshotError(
+                f"{cls.__name__} has undeclared slots {sorted(undeclared_slots)}; "
+                f"update {cls.__name__}._SNAPSHOT_FIELDS so the checkpoint "
+                "format stays complete"
+            )
+        state: dict[str, Any] = {}
+        missing = object()
+        for name in fields:
+            value = getattr(self, name, missing)
+            if value is not missing:
+                state[name] = value
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Apply a ``snapshot_state`` dict onto this (possibly blank) object."""
+        cls = type(self)
+        fields = cls._SNAPSHOT_FIELDS
+        unknown = [name for name in state if name not in fields]
+        if unknown:
+            raise SnapshotError(
+                f"checkpoint carries fields {sorted(unknown)} unknown to "
+                f"{cls.__name__}; the checkpoint was written by an "
+                "incompatible version"
+            )
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    __getstate__ = snapshot_state
+    __setstate__ = restore_state

@@ -12,12 +12,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.snapshot import SnapshotState
 from repro.core.block import Block
 
 
 @dataclass
-class EpochState:
+class EpochState(SnapshotState):
     """Everything one node tracks about one epoch."""
+
+    _SNAPSHOT_FIELDS = (
+        "epoch",
+        "own_block",
+        "proposed_at",
+        "dispersal_started",
+        "ba_outputs",
+        "zero_votes_cast",
+        "committed",
+        "retrieval_started",
+        "retrieved",
+        "ba_blocks_delivered",
+        "linked_slots",
+        "linked_retrieved",
+        "linking_started",
+        "fully_delivered",
+    )
 
     epoch: int
 

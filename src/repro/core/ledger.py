@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.snapshot import SnapshotState
 from repro.core.block import Block
 
 
@@ -40,8 +41,10 @@ class DeliveredBlock:
 
 
 @dataclass
-class Ledger:
+class Ledger(SnapshotState):
     """Append-only log of delivered blocks for one node."""
+
+    _SNAPSHOT_FIELDS = ("entries", "_delivered_slots")
 
     entries: list[DeliveredBlock] = field(default_factory=list)
     _delivered_slots: set[tuple[int, int]] = field(default_factory=set)

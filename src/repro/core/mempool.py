@@ -16,12 +16,23 @@ from typing import Callable, Iterable, Union
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+from repro.common.snapshot import SnapshotState
 from repro.core.block import Transaction
 from repro.core.txbatch import TxBatch
 
 
-class Mempool:
+class Mempool(SnapshotState):
     """FIFO queue of pending transactions with byte accounting."""
+
+    _SNAPSHOT_FIELDS = (
+        "nagle_delay",
+        "nagle_size",
+        "_queue",
+        "_pending_bytes",
+        "_last_proposal_time",
+        "total_submitted",
+        "total_proposed",
+    )
 
     def __init__(self, nagle_delay: float = 0.1, nagle_size: int = 150_000):
         self.nagle_delay = nagle_delay
@@ -129,7 +140,7 @@ class Mempool:
         self._last_proposal_time = now
 
 
-class ColumnarMempool:
+class ColumnarMempool(SnapshotState):
     """A struct-of-arrays mempool: a FIFO of :class:`TxBatch` runs.
 
     Drop-in behavioural twin of :class:`Mempool` — same Nagle rule, same
@@ -141,6 +152,19 @@ class ColumnarMempool:
     pending transactions into blocks costs a handful of ``searchsorted``
     calls rather than a million ``popleft``s.
     """
+
+    _SNAPSHOT_FIELDS = (
+        "nagle_delay",
+        "nagle_size",
+        "_queue",
+        "_head_offset",
+        "_head_offset_bytes",
+        "_pending_count",
+        "_pending_bytes",
+        "_last_proposal_time",
+        "total_submitted",
+        "total_proposed",
+    )
 
     def __init__(self, nagle_delay: float = 0.1, nagle_size: int = 150_000):
         self.nagle_delay = nagle_delay

@@ -23,6 +23,7 @@ differences; everything else lives here.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable
 
 from repro.ba.coin import CommonCoin
@@ -30,6 +31,7 @@ from repro.ba.mmr import BinaryAgreement
 from repro.ba.messages import BA_MESSAGE_TYPES
 from repro.common.ids import BAInstanceId, VIDInstanceId
 from repro.common.params import ProtocolParams
+from repro.common.snapshot import SnapshotState
 from repro.core.block import Block, Transaction
 from repro.core.config import REAL_PLANE, NodeConfig
 from repro.core.epoch import EpochState
@@ -60,7 +62,7 @@ _MESSAGE_ROUTES: dict[type, int] = {
 }
 
 
-class BFTNodeBase:
+class BFTNodeBase(SnapshotState):
     """Shared implementation of one BFT node (DispersedLedger or HoneyBadger).
 
     Args:
@@ -76,6 +78,36 @@ class BFTNodeBase:
         on_propose: optional callback invoked as ``on_propose(node_id, block,
             now)`` whenever this node disperses a new block.
     """
+
+    #: ``_automata`` maps instance ids to bound ``handle`` methods of the
+    #: VID/BA automata; those pickle as (instance, name) references so the
+    #: restored dispatch table points at the restored automata.  Node-class
+    #: adversary subclasses that add state extend this tuple.
+    _SNAPSHOT_FIELDS = (
+        "node_id",
+        "params",
+        "ctx",
+        "config",
+        "coin",
+        "max_epochs",
+        "on_deliver",
+        "on_propose",
+        "codec",
+        "mempool",
+        "ledger",
+        "current_epoch",
+        "delivered_epoch",
+        "_next_tx_id",
+        "_epochs",
+        "_vid_instances",
+        "_ba_instances",
+        "_automata",
+        "_completed_vids",
+        "_v_prefix",
+        "_epoch_start_pending",
+        "_epoch_timer",
+        "started",
+    )
 
     def __init__(
         self,
@@ -300,13 +332,14 @@ class BFTNodeBase:
             return
         self._epoch_start_pending = True
         delay = self.mempool.time_until_ready(now)
-
-        def fire() -> None:
-            self._epoch_timer = None
-            self._epoch_start_pending = False
-            self._schedule_epoch_start(epoch)
-
+        fire = partial(self._epoch_timer_fired, epoch)
         self._epoch_timer = (epoch, self.ctx.set_timer(delay, fire))
+
+    def _epoch_timer_fired(self, epoch: int) -> None:
+        """The armed Nagle timer elapsed: re-check whether ``epoch`` may start."""
+        self._epoch_timer = None
+        self._epoch_start_pending = False
+        self._schedule_epoch_start(epoch)
 
     def _begin_dispersal(self, epoch: int) -> None:
         """Form this epoch's block and disperse it through our VID slot."""
@@ -459,13 +492,12 @@ class BFTNodeBase:
             self._after_retrieval_progress(epoch)
             return
         instance = VIDInstanceId(epoch=epoch, proposer=slot)
+        self._get_vid(instance).retrieve(partial(self._slot_retrieved, epoch, slot))
 
-        def done(result: RetrievalResult) -> None:
-            block = self._block_from_payload(result.payload) if result.ok else None
-            state.retrieved[slot] = block
-            self._after_retrieval_progress(epoch)
-
-        self._get_vid(instance).retrieve(done)
+    def _slot_retrieved(self, epoch: int, slot: int, result: RetrievalResult) -> None:
+        block = self._block_from_payload(result.payload) if result.ok else None
+        self._epoch_state(epoch).retrieved[slot] = block
+        self._after_retrieval_progress(epoch)
 
     def _after_retrieval_progress(self, epoch: int) -> None:
         """Hook called whenever a committed-block retrieval for ``epoch`` finishes."""
@@ -499,16 +531,16 @@ class BFTNodeBase:
             self._retrieve_linked_slot(epoch, linked_epoch, proposer)
 
     def _retrieve_linked_slot(self, epoch: int, linked_epoch: int, proposer: int) -> None:
-        state = self._epoch_state(epoch)
         key = (linked_epoch, proposer)
         instance = VIDInstanceId(epoch=linked_epoch, proposer=proposer)
+        self._get_vid(instance).retrieve(partial(self._linked_slot_retrieved, epoch, key))
 
-        def done(result: RetrievalResult) -> None:
-            block = self._block_from_payload(result.payload) if result.ok else None
-            state.linked_retrieved[key] = block
-            self._try_deliver()
-
-        self._get_vid(instance).retrieve(done)
+    def _linked_slot_retrieved(
+        self, epoch: int, key: tuple[int, int], result: RetrievalResult
+    ) -> None:
+        block = self._block_from_payload(result.payload) if result.ok else None
+        self._epoch_state(epoch).linked_retrieved[key] = block
+        self._try_deliver()
 
     # ------------------------------------------------------------------
     # In-order delivery pipeline

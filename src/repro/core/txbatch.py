@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
+from repro.common.snapshot import SnapshotState
+
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.core.block import Transaction
 
@@ -37,7 +39,7 @@ _DIGEST_DTYPE = np.dtype([("tx_id", ">u8"), ("size", ">u4")])
 _HEADER_DTYPE = np.dtype([("tx_id", ">u8"), ("origin", ">u4"), ("size", ">u4"), ("created_at", ">f8")])
 
 
-class TxBatch:
+class TxBatch(SnapshotState):
     """A read-only columnar run of transactions from a single origin node.
 
     Attributes:
@@ -48,6 +50,7 @@ class TxBatch:
     """
 
     __slots__ = ("origin", "tx_ids", "created_at", "sizes", "_total_bytes", "_cumsum")
+    _SNAPSHOT_FIELDS = ("origin", "tx_ids", "created_at", "sizes", "_total_bytes", "_cumsum")
 
     def __init__(
         self,

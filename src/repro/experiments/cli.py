@@ -8,6 +8,7 @@
     python -m repro.experiments run straggler-hetero --grid seed=0,1,2 --json
     python -m repro.experiments run bandwidth-flapping --set bandwidth.count=4 --serial
     python -m repro.experiments run scenarios/censor-victim.json
+    python -m repro.experiments resume checkpoints/trace-replay-wan-base-seed0.ckpt
     python -m repro.experiments trace inspect traces/wan-measured.csv
     python -m repro.experiments trace export trace-replay-wan --out telemetry
 
@@ -24,6 +25,13 @@ unified summary table.  ``--set`` overrides base-spec fields by dotted path;
 values are parsed as JSON when possible (``--set workload.kind=bursty``
 works too, falling back to the raw string).
 
+``resume`` continues a ``repro-ckpt-v1`` checkpoint (written by
+``checkpoint_every`` / ``--set checkpoint_every=…``) to completion and
+prints the same unified summary ``run`` would have produced; a truncated,
+corrupt, or foreign-scenario file is a one-line error and exit status 2.
+``run`` and ``sweep`` accept ``--resume-dir`` to journal per-point results
+so a crashed sweep re-runs only its unfinished points.
+
 ``trace`` groups the measured-bandwidth utilities — ``inspect`` a trace
 file, ``convert`` between the CSV and JSON formats (optionally resampling,
 scaling or clipping), and ``export`` a scenario's telemetry time-series —
@@ -39,9 +47,10 @@ import sys
 from dataclasses import replace
 from typing import Any, Sequence
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SnapshotError
 from repro.experiments.catalog import NamedScenario, get_scenario, list_scenarios
-from repro.experiments.engine import SweepResult, sweep
+from repro.experiments.engine import ScenarioResult, SweepResult, sweep
+from repro.experiments.runner import resume_experiment
 from repro.experiments.scenario import ScenarioSpec, apply_override
 from repro.trace.cli import add_trace_parser, run_trace_command
 
@@ -151,6 +160,29 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--serial", action="store_true", help="run points in-process")
         cmd.add_argument("--workers", type=int, help="worker-process count")
         cmd.add_argument("--json", action="store_true", help="emit JSON summaries")
+        cmd.add_argument(
+            "--resume-dir",
+            help="crash-resume journal directory: each completed point is "
+            "recorded there, and rerunning after an interruption re-executes "
+            "only the unfinished points",
+        )
+
+    resume = sub.add_parser(
+        "resume", help="continue a repro-ckpt-v1 checkpoint to completion"
+    )
+    resume.add_argument("checkpoint", help="path to a repro-ckpt-v1 checkpoint file")
+    resume.add_argument(
+        "--checkpoint-every",
+        type=float,
+        help="keep checkpointing every this many virtual seconds while the "
+        "resumed run executes",
+    )
+    resume.add_argument(
+        "--checkpoint-path",
+        help="where continued checkpoints are written "
+        "(default: overwrite the source file)",
+    )
+    resume.add_argument("--json", action="store_true", help="emit a JSON summary")
 
     add_trace_parser(sub)
     return parser
@@ -198,11 +230,63 @@ def _print_run(entry: NamedScenario, result: SweepResult, as_json: bool) -> None
     )
 
 
+def _run_resume(args: argparse.Namespace) -> int:
+    """The ``resume`` subcommand: continue a checkpoint and print its summary.
+
+    Checkpoints written by the scenario engine carry the originating spec in
+    their metadata, so the printed summary has the same unified schema as a
+    fresh ``run`` of that scenario — a resumed run is diffable against the
+    golden summaries.  Malformed or foreign checkpoints produce a one-line
+    error and exit status 2, never a traceback.
+    """
+    checkpoint_path = args.checkpoint_path
+    if args.checkpoint_every is not None and checkpoint_path is None:
+        checkpoint_path = args.checkpoint
+    try:
+        state, result = resume_experiment(
+            args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spec_dict = state.meta.get("spec") if isinstance(state.meta, dict) else None
+    if spec_dict is not None:
+        spec = ScenarioSpec.from_dict(spec_dict)
+        point = ScenarioResult(
+            spec=spec,
+            overrides=dict(state.meta.get("overrides") or {}),
+            result=result,
+        )
+        summary = point.summary()
+    else:
+        # A checkpoint taken outside the scenario engine has no spec to
+        # rebuild the unified schema from; print the core result fields.
+        summary = {
+            "protocol": result.protocol,
+            "num_nodes": result.num_nodes,
+            "duration": result.duration,
+            "mean_throughput": result.mean_throughput,
+            "delivered_epochs": min(result.delivered_epochs, default=0),
+            "events_processed": result.events_processed,
+        }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        for key, value in summary.items():
+            print(f"{key}: {value}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "trace":
         return run_trace_command(args)
+
+    if args.command == "resume":
+        return _run_resume(args)
 
     if args.command == "list":
         for entry in list_scenarios():
@@ -232,6 +316,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         grid or None,
         parallel=not args.serial,
         max_workers=args.workers,
+        resume_dir=args.resume_dir,
     )
     _print_run(entry, result, args.json)
     return 0

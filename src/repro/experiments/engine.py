@@ -14,6 +14,8 @@ simulator throughput (events per second) across PRs.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import re
 import time
@@ -22,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro.common.errors import SnapshotError
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenario import (
     Grid,
@@ -29,6 +32,13 @@ from repro.experiments.scenario import (
     build_network_config,
     describe_overrides,
     expand_grid,
+)
+from repro.sim.snapshot import (
+    KIND_SWEEP_POINT,
+    SimulationState,
+    load_checkpoint,
+    read_snapshot_file,
+    write_snapshot_file,
 )
 from repro.trace.recorder import TraceRecorder
 
@@ -118,8 +128,22 @@ def telemetry_filename(spec: ScenarioSpec, overrides: Mapping[str, Any] | None) 
     return f"{spec.name}-{safe_label}-seed{spec.seed}.jsonl"
 
 
+def checkpoint_filename(spec: ScenarioSpec, overrides: Mapping[str, Any] | None) -> str:
+    """The per-point checkpoint file name, mirroring :func:`telemetry_filename`."""
+    label = describe_overrides(dict(overrides or {}))
+    safe_label = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "base"
+    return f"{spec.name}-{safe_label}-seed{spec.seed}.ckpt"
+
+
+#: Default directory for spec-driven checkpoints when no explicit path is given.
+DEFAULT_CHECKPOINT_DIR = "checkpoints"
+
+
 def run_scenario(
-    spec: ScenarioSpec, overrides: Mapping[str, Any] | None = None
+    spec: ScenarioSpec,
+    overrides: Mapping[str, Any] | None = None,
+    checkpoint_path: str | Path | None = None,
+    resume_from: "SimulationState | str | Path | None" = None,
 ) -> ScenarioResult:
     """Run one scenario point and wrap the outcome in a :class:`ScenarioResult`.
 
@@ -127,9 +151,21 @@ def run_scenario(
     :class:`~repro.trace.recorder.TraceRecorder` rides along and its rows
     are written to ``spec.telemetry.out_dir`` under a per-point file name
     (:func:`telemetry_filename`); the summary itself is unchanged.
+
+    When the spec opts into checkpointing (``spec.checkpoint_every``), a
+    ``repro-ckpt-v1`` file is written every that many virtual seconds to
+    ``checkpoint_path`` (default: :data:`DEFAULT_CHECKPOINT_DIR` under a
+    per-point name from :func:`checkpoint_filename`).  ``resume_from``
+    continues a previous checkpoint instead of building a fresh run; the
+    checkpoint must belong to this exact scenario (fingerprint-checked).
     """
     started = time.perf_counter()
     if spec.kind == "vid-cost":
+        if resume_from is not None:
+            raise SnapshotError(
+                "vid-cost scenarios are analytic and cannot be checkpointed "
+                "or resumed"
+            )
         extra = _run_vid_cost(spec)
         return ScenarioResult(
             spec=spec,
@@ -137,7 +173,26 @@ def run_scenario(
             extra=extra,
             wall_clock_seconds=time.perf_counter() - started,
         )
-    recorder = TraceRecorder(interval=spec.telemetry.interval) if spec.telemetry.enabled else None
+    state: SimulationState | None = None
+    if resume_from is not None:
+        # Load here (rather than inside run_experiment) so a restored
+        # recorder's rows can still be written out below.  The fingerprint
+        # check happens in run_experiment against this spec's parameters.
+        if isinstance(resume_from, SimulationState):
+            state = resume_from
+        else:
+            state = load_checkpoint(resume_from)
+        recorder = state.recorder
+    else:
+        recorder = (
+            TraceRecorder(interval=spec.telemetry.interval)
+            if spec.telemetry.enabled
+            else None
+        )
+    if spec.checkpoint_every is not None and checkpoint_path is None:
+        checkpoint_path = Path(DEFAULT_CHECKPOINT_DIR) / checkpoint_filename(
+            spec, overrides
+        )
     result = run_experiment(
         spec.protocol,
         build_network_config(spec),
@@ -150,9 +205,13 @@ def run_scenario(
         adversary=spec.adversary,
         recorder=recorder,
         max_epochs=spec.max_epochs,
+        checkpoint_every=spec.checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        checkpoint_meta={"spec": spec.to_dict(), "overrides": dict(overrides or {})},
+        resume_from=state,
     )
     telemetry_path: str | None = None
-    if recorder is not None:
+    if recorder is not None and spec.telemetry.enabled:
         target = Path(spec.telemetry.out_dir) / telemetry_filename(spec, overrides)
         telemetry_path = str(recorder.write_jsonl(target))
     return ScenarioResult(
@@ -195,6 +254,70 @@ def _run_point(point: tuple[dict[str, Any], ScenarioSpec]) -> ScenarioResult:
     return run_scenario(spec, overrides)
 
 
+# -- sweep crash-resume ----------------------------------------------------
+
+
+def _point_fingerprint(
+    base: ScenarioSpec, grid_values: dict[str, list[Any]], index: int, overrides: dict[str, Any]
+) -> str:
+    """A digest tying one sweep point to its base spec, grid and position.
+
+    Stored in each per-point result file so a resumed sweep only accepts
+    results produced by the *same* sweep: change the base spec, the grid or
+    the point order and every stale file is ignored and re-run.
+    """
+    material = {
+        "base": base.to_dict(),
+        "grid": grid_values,
+        "index": index,
+        "overrides": overrides,
+    }
+    blob = json.dumps(material, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _point_result_path(resume_dir: str | Path, index: int) -> Path:
+    return Path(resume_dir) / f"point-{index:04d}.ckpt"
+
+
+def _run_point_persist(
+    point: tuple[dict[str, Any], ScenarioSpec, int, str, str],
+) -> ScenarioResult:
+    """Run one sweep point and journal its result for crash-resume.
+
+    The result file is written atomically *after* the point completes, so a
+    sweep killed mid-point leaves either a complete, loadable result or no
+    file at all — never a torn one.
+    """
+    overrides, spec, index, resume_dir, fingerprint = point
+    result = run_scenario(spec, overrides)
+    write_snapshot_file(
+        _point_result_path(resume_dir, index),
+        result,
+        kind=KIND_SWEEP_POINT,
+        fingerprint=fingerprint,
+        extra={"index": index, "label": describe_overrides(overrides)},
+    )
+    return result
+
+
+def _load_finished_point(
+    resume_dir: str | Path, index: int, fingerprint: str
+) -> ScenarioResult | None:
+    """A previously-journalled point result, or None if absent/stale/torn."""
+    path = _point_result_path(resume_dir, index)
+    if not path.exists():
+        return None
+    try:
+        _, payload = read_snapshot_file(
+            path, kind=KIND_SWEEP_POINT, expect_fingerprint=fingerprint
+        )
+    except SnapshotError:
+        # Torn, foreign or stale journal entries are re-run, not fatal.
+        return None
+    return payload if isinstance(payload, ScenarioResult) else None
+
+
 @dataclass
 class SweepResult:
     """Every point of one sweep, in deterministic grid order."""
@@ -205,6 +328,9 @@ class SweepResult:
     parallel: bool
     workers: int
     wall_clock_seconds: float
+    #: Point indices whose results were loaded from a resume journal instead
+    #: of re-executed (empty when the sweep ran without ``resume_dir``).
+    resumed_points: list[int] = field(default_factory=list)
 
     def summaries(self) -> list[dict[str, Any]]:
         return [point.summary() for point in self.points]
@@ -288,6 +414,7 @@ def sweep(
     grid: Grid | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
+    resume_dir: str | Path | None = None,
 ) -> SweepResult:
     """Expand ``base`` over ``grid`` and run every point.
 
@@ -301,13 +428,54 @@ def sweep(
             ``False`` for easier debugging or when profiling a single run.
         max_workers: process count (default: one per point, capped at the
             machine's CPU count).
+        resume_dir: crash-resume journal directory.  Each completed point
+            writes its result there atomically (``point-NNNN.ckpt``,
+            ``repro-ckpt-v1`` format); rerunning an interrupted sweep with
+            the same ``resume_dir`` re-executes only the unfinished points
+            and produces a result identical to an uninterrupted run.  Stale
+            journals (different base spec, grid, or point order) are
+            detected by fingerprint and ignored.
     """
     started = time.perf_counter()
     # Materialise axis values first: iterator-valued axes must be recorded
     # with the same values expand_grid consumes.
     grid_values = {key: list(values) for key, values in (grid or {}).items()}
     points = expand_grid(base, grid_values)
-    results, workers = run_points(points, parallel=parallel, max_workers=max_workers)
+    resumed: list[int] = []
+    if resume_dir is None:
+        results, workers = run_points(points, parallel=parallel, max_workers=max_workers)
+    else:
+        journal = Path(resume_dir)
+        journal.mkdir(parents=True, exist_ok=True)
+        fingerprints = [
+            _point_fingerprint(base, grid_values, index, overrides)
+            for index, (overrides, _) in enumerate(points)
+        ]
+        loaded: dict[int, ScenarioResult] = {}
+        for index, fingerprint in enumerate(fingerprints):
+            prior = _load_finished_point(journal, index, fingerprint)
+            if prior is not None:
+                loaded[index] = prior
+        todo = [
+            (overrides, spec, index, str(journal), fingerprints[index])
+            for index, (overrides, spec) in enumerate(points)
+            if index not in loaded
+        ]
+        workers = (
+            max_workers if max_workers is not None else default_workers(max(1, len(todo)))
+        )
+        if not parallel or workers <= 1 or len(todo) <= 1:
+            workers = 1
+            fresh = [_run_point_persist(point) for point in todo]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                fresh = list(executor.map(_run_point_persist, todo))
+        fresh_by_index = {point[2]: result for point, result in zip(todo, fresh)}
+        results = [
+            loaded[index] if index in loaded else fresh_by_index[index]
+            for index in range(len(points))
+        ]
+        resumed = sorted(loaded)
     return SweepResult(
         base=base,
         grid=grid_values,
@@ -315,4 +483,5 @@ def sweep(
         parallel=parallel and workers > 1,
         workers=workers,
         wall_clock_seconds=time.perf_counter() - started,
+        resumed_points=resumed,
     )

@@ -15,11 +15,15 @@ this driver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.adversary.registry import AdversarySpec, get_adversary
 from repro.ba.coin import CommonCoin
+from repro.common.errors import SnapshotError
 from repro.common.params import ProtocolParams
 from repro.core.config import NodeConfig
 from repro.core.node import DLCoupledNode, DispersedLedgerNode
@@ -29,6 +33,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.stats import Summary
 from repro.sim.events import Simulator
 from repro.sim.network import Network, NetworkConfig
+from repro.sim.snapshot import CheckpointTimer, SimulationState, load_checkpoint
 from repro.workload.txgen import (
     DEFAULT_TX_SIZE,
     ColumnarPoissonTransactionGenerator,
@@ -303,8 +308,8 @@ def build_nodes(
             config=node_config,
             coin=coin,
             max_epochs=max_epochs,
-            on_deliver=lambda nid, entry: collector.record_delivery(nid, entry),
-            on_propose=lambda nid, block, now: collector.record_proposal(nid, block, now),
+            on_deliver=collector.record_delivery,
+            on_propose=collector.record_proposal,
         )
         network.attach(node_id, node)
         nodes.append(node)
@@ -318,7 +323,55 @@ def network_context(network: Network, node_id: int):
     return NodeContext(node_id, network, network.sim)
 
 
-def run_experiment(
+def _experiment_fingerprint(
+    protocol: str,
+    network_config: NetworkConfig,
+    duration: float,
+    workload: WorkloadSpec,
+    node_config: NodeConfig,
+    params: ProtocolParams,
+    seed: int,
+    warmup: float,
+    adversary: AdversarySpec | None,
+    max_epochs: int | None,
+) -> str:
+    """A short deterministic digest of *what* is being simulated.
+
+    Stored in every ``repro-ckpt-v1`` header and recomputed on resume, so a
+    checkpoint taken by one scenario cannot silently continue another.  Trace
+    objects are summarised by class name (their content is not JSON-stable);
+    everything else is the exact argument value.
+    """
+
+    def trace_kinds(traces) -> list[str] | None:
+        if traces is None:
+            return None
+        return [type(t).__name__ if t is not None else "None" for t in traces]
+
+    material = {
+        "protocol": protocol,
+        "n": params.n,
+        "f": params.f,
+        "duration": duration,
+        "warmup": warmup,
+        "seed": seed,
+        "max_epochs": max_epochs,
+        "workload": asdict(workload),
+        "node_config": asdict(node_config),
+        "adversary": None if adversary is None else asdict(adversary),
+        "network": {
+            "num_nodes": network_config.num_nodes,
+            "propagation_delay": network_config.propagation_delay,
+            "express": network_config.express,
+            "egress": trace_kinds(network_config.egress_traces),
+            "ingress": trace_kinds(network_config.ingress_traces),
+        },
+    }
+    blob = json.dumps(material, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def build_experiment(
     protocol: str,
     network_config: NetworkConfig,
     duration: float,
@@ -330,41 +383,16 @@ def run_experiment(
     adversary: AdversarySpec | None = None,
     recorder: "TraceRecorder | None" = None,
     max_epochs: int | None = None,
-) -> ExperimentResult:
-    """Run one protocol on one simulated network and summarise the outcome.
+    meta: dict | None = None,
+) -> SimulationState:
+    """Build phase: construct the full simulation graph, ready to run.
 
-    Args:
-        protocol: a registered protocol name (``"dl"``, ``"dl-coupled"``,
-            ``"hb"``, ``"hb-link"``, or anything added via
-            :func:`register_protocol`).
-        network_config: the simulated WAN (delays + bandwidth traces).
-        duration: virtual seconds to simulate.
-        workload: offered load (defaults to a saturating workload).
-        node_config: node behaviour knobs (defaults to the virtual data plane
-            with the paper's Nagle parameters).
-        params: protocol parameters (defaults to the maximum-``f`` setting
-            for the network's node count).
-        seed: seed for the workload generators.
-        warmup: virtual seconds excluded from the throughput denominator
-            (ramp-up of the first epochs).
-        adversary: which nodes misbehave and how (defaults to none).  The
-            placed nodes are replaced on the wire by the registered faulty
-            process; when the factory returns a full node (the node-class
-            adversaries ``censor`` and ``equivocate``), the replacement also
-            takes the honest node's place in the cluster, so it receives the
-            client workload and its epoch frontiers feed the result.
-            Per-node metrics (zero throughput for silent nodes) stay in the
-            result so summaries remain index-aligned with the cluster.
-        recorder: optional :class:`~repro.trace.recorder.TraceRecorder` that
-            samples per-node link and protocol state while the run executes
-            and derives per-epoch rows afterwards.  Recording is
-            behaviour-neutral: the sampling callbacks are uncounted internal
-            events that only read state, so the returned result is identical
-            with or without it.
-        max_epochs: stop proposing new blocks after this many epochs
-            (``None`` = propose for the whole run).  Bounded-work runs (the
-            million-transaction benchmarks) use this to commit a known
-            transaction count and then let the run drain.
+    Everything :func:`run_experiment` used to assemble inline now lands in a
+    :class:`~repro.sim.snapshot.SimulationState`, so a fresh build and a
+    restored checkpoint drive the exact same run/summarise phases.
+    Construction order (nodes, adversary replacements, generators,
+    ``network.start()``, recorder attach) is part of the determinism
+    contract: it fixes the initial sequence numbers.
     """
     workload = workload or WorkloadSpec()
     node_config = node_config or NodeConfig()
@@ -407,36 +435,214 @@ def run_experiment(
     network.start()
     if recorder is not None:
         recorder.attach(sim, network, nodes, collector)
-    sim.run(until=duration)
-    if recorder is not None:
-        recorder.finish(nodes, adversarial=placement)
+    return SimulationState(
+        fingerprint=_experiment_fingerprint(
+            protocol,
+            network_config,
+            duration,
+            workload,
+            node_config,
+            params,
+            seed,
+            warmup,
+            adversary,
+            max_epochs,
+        ),
+        protocol=protocol,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        sim=sim,
+        network=network,
+        collector=collector,
+        nodes=nodes,
+        generators=generators,
+        recorder=recorder,
+        adversary=adversary,
+        placement=placement,
+        meta=dict(meta or {}),
+    )
 
+
+def _finish_experiment(
+    state: SimulationState,
+    checkpoint_every: float | None = None,
+    checkpoint_path: str | Path | None = None,
+) -> ExperimentResult:
+    """Run phase + summarise phase, shared by fresh runs and resumes."""
+    if checkpoint_every is not None:
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+        CheckpointTimer(state, checkpoint_path, checkpoint_every).arm()
+    state.sim.run(until=state.duration)
+    if state.recorder is not None:
+        state.recorder.finish(state.nodes, adversarial=state.placement)
+    return summarise_experiment(state)
+
+
+def summarise_experiment(state: SimulationState) -> ExperimentResult:
+    """Summarise phase: a pure function of the post-run simulation state."""
+    collector = state.collector
+    nodes = state.nodes
     block_sizes = [
         size for metrics in collector.per_node for size in metrics.proposed_block_sizes
     ]
     mean_block_size = sum(block_sizes) / len(block_sizes) if block_sizes else 0.0
     adversary_metrics: dict = {}
-    if adversary is not None and adversary.kind != "none":
-        adversary_metrics = _adversary_metrics(adversary, placement, nodes, collector)
+    if state.adversary is not None and state.adversary.kind != "none":
+        adversary_metrics = _adversary_metrics(
+            state.adversary, state.placement, nodes, collector
+        )
     return ExperimentResult(
-        protocol=protocol,
-        num_nodes=params.n,
-        duration=duration,
-        throughputs=collector.throughputs(duration, warmup=warmup),
+        protocol=state.protocol,
+        num_nodes=len(nodes),
+        duration=state.duration,
+        throughputs=collector.throughputs(state.duration, warmup=state.warmup),
         latency_local=collector.latency_summaries(local_only=True),
         latency_all=collector.latency_summaries(local_only=False),
-        dispersal_fractions=[stats.dispersal_fraction for stats in network.stats],
+        dispersal_fractions=[stats.dispersal_fraction for stats in state.network.stats],
         timelines=collector.timelines(),
         delivered_epochs=[node.delivered_epoch for node in nodes],
         current_epochs=[node.current_epoch for node in nodes],
         mean_block_size=mean_block_size,
-        events_processed=sim.processed_events,
-        tx_generated=sum(generator.generated for generator in generators),
+        events_processed=state.sim.processed_events,
+        tx_generated=sum(generator.generated for generator in state.generators),
         tx_confirmed_per_node=[
             metrics.confirmed_transactions for metrics in collector.per_node
         ],
         adversary_metrics=adversary_metrics,
     )
+
+
+def resume_experiment(
+    source: SimulationState | str | Path,
+    checkpoint_every: float | None = None,
+    checkpoint_path: str | Path | None = None,
+) -> tuple[SimulationState, ExperimentResult]:
+    """Continue a checkpointed experiment to completion.
+
+    ``source`` is a checkpoint file path (or an already-loaded
+    :class:`SimulationState`).  The restored state runs to its recorded
+    ``duration`` and is summarised exactly as an uninterrupted run would be.
+    Pass ``checkpoint_every``/``checkpoint_path`` to keep checkpointing while
+    the resumed run executes.  A restored state is consumed by running it;
+    load the file again for another continuation.
+    """
+    if isinstance(source, SimulationState):
+        state = source
+    else:
+        state = load_checkpoint(source)
+    return state, _finish_experiment(state, checkpoint_every, checkpoint_path)
+
+
+def run_experiment(
+    protocol: str,
+    network_config: NetworkConfig,
+    duration: float,
+    workload: WorkloadSpec | None = None,
+    node_config: NodeConfig | None = None,
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+    warmup: float = 0.0,
+    adversary: AdversarySpec | None = None,
+    recorder: "TraceRecorder | None" = None,
+    max_epochs: int | None = None,
+    checkpoint_every: float | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_meta: dict | None = None,
+    resume_from: SimulationState | str | Path | None = None,
+) -> ExperimentResult:
+    """Run one protocol on one simulated network and summarise the outcome.
+
+    Args:
+        protocol: a registered protocol name (``"dl"``, ``"dl-coupled"``,
+            ``"hb"``, ``"hb-link"``, or anything added via
+            :func:`register_protocol`).
+        network_config: the simulated WAN (delays + bandwidth traces).
+        duration: virtual seconds to simulate.
+        workload: offered load (defaults to a saturating workload).
+        node_config: node behaviour knobs (defaults to the virtual data plane
+            with the paper's Nagle parameters).
+        params: protocol parameters (defaults to the maximum-``f`` setting
+            for the network's node count).
+        seed: seed for the workload generators.
+        warmup: virtual seconds excluded from the throughput denominator
+            (ramp-up of the first epochs).
+        adversary: which nodes misbehave and how (defaults to none).  The
+            placed nodes are replaced on the wire by the registered faulty
+            process; when the factory returns a full node (the node-class
+            adversaries ``censor`` and ``equivocate``), the replacement also
+            takes the honest node's place in the cluster, so it receives the
+            client workload and its epoch frontiers feed the result.
+            Per-node metrics (zero throughput for silent nodes) stay in the
+            result so summaries remain index-aligned with the cluster.
+        recorder: optional :class:`~repro.trace.recorder.TraceRecorder` that
+            samples per-node link and protocol state while the run executes
+            and derives per-epoch rows afterwards.  Recording is
+            behaviour-neutral: the sampling callbacks are uncounted internal
+            events that only read state, so the returned result is identical
+            with or without it.
+        max_epochs: stop proposing new blocks after this many epochs
+            (``None`` = propose for the whole run).  Bounded-work runs (the
+            million-transaction benchmarks) use this to commit a known
+            transaction count and then let the run drain.
+        checkpoint_every: write a ``repro-ckpt-v1`` checkpoint to
+            ``checkpoint_path`` every this many virtual seconds.
+            Checkpointing rides on uncounted internal callbacks, so event
+            counts and summaries are byte-identical with it on or off.
+        checkpoint_path: where the (single, overwritten) checkpoint file
+            lives; required when ``checkpoint_every`` is set.
+        checkpoint_meta: opaque scenario metadata stored inside the
+            checkpoint (the scenario engine passes its spec here so the
+            ``resume`` CLI can rebuild a full summary).
+        resume_from: continue from a checkpoint — a file path or an
+            already-loaded :class:`SimulationState` — instead of building a
+            fresh simulation.  The other arguments must describe the *same*
+            scenario: the stored fingerprint is checked and a
+            :class:`SnapshotError` is raised for a foreign-scenario restore.
+    """
+    if resume_from is not None:
+        workload = workload or WorkloadSpec()
+        node_config = node_config or NodeConfig()
+        params = params or ProtocolParams.for_n(network_config.num_nodes)
+        expected = _experiment_fingerprint(
+            protocol,
+            network_config,
+            duration,
+            workload,
+            node_config,
+            params,
+            seed,
+            warmup,
+            adversary,
+            max_epochs,
+        )
+        if isinstance(resume_from, SimulationState):
+            state = resume_from
+        else:
+            state = load_checkpoint(resume_from, expect_fingerprint=expected)
+        if state.fingerprint != expected:
+            raise SnapshotError(
+                f"checkpoint fingerprint {state.fingerprint!r} does not match "
+                f"this scenario ({expected!r}); refusing a foreign-scenario "
+                "restore"
+            )
+    else:
+        state = build_experiment(
+            protocol,
+            network_config,
+            duration,
+            workload=workload,
+            node_config=node_config,
+            params=params,
+            seed=seed,
+            warmup=warmup,
+            adversary=adversary,
+            recorder=recorder,
+            max_epochs=max_epochs,
+            meta=checkpoint_meta,
+        )
+    return _finish_experiment(state, checkpoint_every, checkpoint_path)
 
 
 def _adversary_metrics(

@@ -297,6 +297,9 @@ class ScenarioSpec:
         f: Byzantine-tolerance parameter override (``None`` = maximum
             ``f = (n - 1) // 3``).
         block_size: dispersed block size (``vid-cost`` kind only).
+        checkpoint_every: opt-in periodic checkpointing interval in virtual
+            seconds (``sim`` kind only); summaries are bit-identical whether
+            it is on or off.
     """
 
     name: str = "custom"
@@ -318,6 +321,10 @@ class ScenarioSpec:
     #: columnar benchmarks) pin the committed transaction count with this.
     max_epochs: int | None = None
     block_size: int = 500_000
+    #: Write a ``repro-ckpt-v1`` checkpoint every this many virtual seconds
+    #: (``None`` = no periodic checkpointing).  Summaries are bit-identical
+    #: whether it is on or off.
+    checkpoint_every: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("sim", "vid-cost"):
@@ -351,6 +358,15 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"telemetry recording requires a sim scenario, not kind {self.kind!r}"
             )
+        if self.checkpoint_every is not None:
+            if self.kind != "sim":
+                # Analytic kinds never build a simulator, so there is no
+                # event-loop state to snapshot.
+                raise ConfigurationError(
+                    f"checkpointing requires a sim scenario, not kind {self.kind!r}"
+                )
+            if self.checkpoint_every <= 0:
+                raise ConfigurationError("checkpoint_every must be None or positive")
 
     @property
     def num_nodes(self) -> int:

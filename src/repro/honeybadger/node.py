@@ -16,6 +16,8 @@ dropped-block bandwidth waste but keeps the lockstep epoch structure.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.common.ids import VIDInstanceId
 from repro.core.config import NodeConfig
 from repro.core.epoch import EpochState
@@ -64,15 +66,15 @@ class HoneyBadgerNode(BFTNodeBase):
         if slot in state.retrieved:
             self._input_ba(epoch, slot, 1)
             return
+        self._get_vid(instance).retrieve(partial(self._block_fetched, epoch, slot))
 
-        def done(result: RetrievalResult) -> None:
-            block = self._block_from_payload(result.payload) if result.ok else None
-            if slot not in state.retrieved:
-                state.retrieved[slot] = block
-            self._input_ba(epoch, slot, 1)
-            self._try_deliver()
-
-        self._get_vid(instance).retrieve(done)
+    def _block_fetched(self, epoch: int, slot: int, result: RetrievalResult) -> None:
+        state = self._epoch_state(epoch)
+        block = self._block_from_payload(result.payload) if result.ok else None
+        if slot not in state.retrieved:
+            state.retrieved[slot] = block
+        self._input_ba(epoch, slot, 1)
+        self._try_deliver()
 
     def _on_epoch_agreement_done(self, epoch: int, state: EpochState) -> None:
         # The committed set may contain blocks this node has not downloaded

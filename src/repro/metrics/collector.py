@@ -6,14 +6,30 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.common.snapshot import SnapshotState
 from repro.core.block import Block
 from repro.core.ledger import DeliveredBlock
 from repro.metrics.stats import Summary, summarise, summarise_array
 
 
 @dataclass
-class NodeMetrics:
+class NodeMetrics(SnapshotState):
     """Raw measurement series for one node."""
+
+    _SNAPSHOT_FIELDS = (
+        "node_id",
+        "timeline",
+        "latencies_all",
+        "latencies_local",
+        "latency_chunks",
+        "blocks_proposed",
+        "bytes_proposed",
+        "blocks_delivered",
+        "blocks_linked",
+        "confirmed_bytes",
+        "confirmed_transactions",
+        "proposed_block_sizes",
+    )
 
     node_id: int
     #: ``(virtual time, cumulative confirmed payload bytes)`` samples, one per
@@ -89,8 +105,10 @@ class NodeMetrics:
         return summarise_array(merged)
 
 
-class MetricsCollector:
+class MetricsCollector(SnapshotState):
     """Collects delivery and proposal events from every node of one run."""
+
+    _SNAPSHOT_FIELDS = ("num_nodes", "per_node")
 
     def __init__(self, num_nodes: int):
         self.num_nodes = num_nodes

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
+from repro.common.snapshot import SnapshotState
 from repro.sim.events import Event
 from repro.sim.messages import Message
 
@@ -43,8 +44,10 @@ class Clock(Protocol):
     def schedule(self, delay: float, callback: Callable[[], None]) -> None: ...
 
 
-class NodeContext:
+class NodeContext(SnapshotState):
     """The sending/timing interface handed to every protocol automaton."""
+
+    _SNAPSHOT_FIELDS = ("node_id", "_router", "_clock")
 
     def __init__(self, node_id: int, router: Router, clock: Clock):
         self.node_id = node_id

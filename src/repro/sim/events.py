@@ -29,12 +29,14 @@ import math
 from heapq import heapify, heappop, heappush
 from typing import Callable
 
+from repro.common.snapshot import SnapshotState
+
 #: Lazy deletion compacts the heap only past this many dead entries (and only
 #: when they outnumber the live ones), so small simulations never pay for it.
 _COMPACT_MIN_STALE = 64
 
 
-class Event:
+class Event(SnapshotState):
     """A cancellable scheduled callback (slotted, lazily deleted).
 
     Returned by the ``schedule_event`` family.  ``cancel()`` is O(1): it
@@ -45,6 +47,7 @@ class Event:
     """
 
     __slots__ = ("_owner", "when", "callback")
+    _SNAPSHOT_FIELDS = ("_owner", "when", "callback")
 
     def __init__(self, owner: "Simulator", when: float, callback: Callable[[], None]):
         self._owner = owner
@@ -65,7 +68,7 @@ class Event:
         return True
 
 
-class InternalCallback:
+class InternalCallback(SnapshotState):
     """A reusable scheduler hand-off excluded from event accounting.
 
     Used for internal bookkeeping (e.g. a pipe kicking off service for a
@@ -77,13 +80,24 @@ class InternalCallback:
     """
 
     __slots__ = ("callback",)
+    _SNAPSHOT_FIELDS = ("callback",)
 
     def __init__(self, callback: Callable[[], None]):
         self.callback = callback
 
 
-class Simulator:
+class Simulator(SnapshotState):
     """A deterministic discrete-event simulator with floating-point seconds."""
+
+    _SNAPSHOT_FIELDS = (
+        "_now",
+        "_queue",
+        "_next_seq",
+        "_processed_events",
+        "_stale",
+        "_in_internal",
+        "_compact_deferred",
+    )
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -95,6 +109,12 @@ class Simulator:
         self._processed_events = 0
         #: Cancelled events still occupying heap slots (lazy deletion debt).
         self._stale = 0
+        #: True while the run loop is inside an :class:`InternalCallback`
+        #: hand-off; heap compaction is deferred until the hand-off returns.
+        self._in_internal = False
+        #: A compaction became due mid-hand-off and is owed at the next
+        #: quiescent point.
+        self._compact_deferred = False
 
     @property
     def now(self) -> float:
@@ -190,14 +210,25 @@ class Simulator:
     def _note_cancelled(self) -> None:
         self._stale += 1
         if self._stale > _COMPACT_MIN_STALE and self._stale * 2 > len(self._queue):
-            # Compact in place: ``run`` holds a reference to this list.
-            self._queue[:] = [
-                entry
-                for entry in self._queue
-                if not (type(entry[2]) is Event and entry[2].callback is None)
-            ]
-            heapify(self._queue)
-            self._stale = 0
+            if self._in_internal:
+                # An InternalCallback hand-off is mid-flight (it may hold a
+                # retired sequence number it is about to reuse, and it may be
+                # the checkpoint timer pickling this very queue).  Rebuilding
+                # the heap here would reorder lazily-deleted slots under it;
+                # defer to the quiescent point right after the hand-off.
+                self._compact_deferred = True
+                return
+            self._compact()
+
+    def _compact(self) -> None:
+        # Compact in place: ``run`` holds a reference to this list.
+        self._queue[:] = [
+            entry
+            for entry in self._queue
+            if not (type(entry[2]) is Event and entry[2].callback is None)
+        ]
+        heapify(self._queue)
+        self._stale = 0
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Execute events until the queue drains, ``until`` is reached, or
@@ -250,8 +281,19 @@ class Simulator:
                         item.callback = None  # executed: later cancel() is a no-op
                     elif cls is InternalCallback:
                         # Internal bookkeeping: runs in order, not an event.
+                        # Sync the batched counter first so a checkpoint taken
+                        # inside the hand-off captures an exact
+                        # ``processed_events``, and defer heap compaction
+                        # until the hand-off returns (quiescent point).
                         self._now = when
+                        self._processed_events += processed
+                        processed = 0
+                        self._in_internal = True
                         item.callback()
+                        self._in_internal = False
+                        if self._compact_deferred:
+                            self._compact_deferred = False
+                            self._compact()
                         continue
                     else:
                         callback = item
@@ -284,7 +326,12 @@ class Simulator:
                 item.callback = None  # executed: later cancel() is a no-op
             elif cls is InternalCallback:
                 self._now = when
+                self._in_internal = True
                 item.callback()
+                self._in_internal = False
+                if self._compact_deferred:
+                    self._compact_deferred = False
+                    self._compact()
                 continue
             else:
                 callback = item

@@ -30,6 +30,7 @@ from functools import partial
 from typing import Callable
 
 from repro.common.errors import ConfigurationError
+from repro.common.snapshot import SnapshotState
 from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth
 from repro.sim.events import Simulator
 from repro.sim.messages import Message, Priority
@@ -122,7 +123,7 @@ _PROPAGATED = 1
 _DELIVER = 2
 
 
-class _MessageTransfer:
+class _MessageTransfer(SnapshotState):
     """Slotted per-message journey state (egress -> propagation -> ingress).
 
     One record per message replaces the seed's four per-message closures.
@@ -132,6 +133,7 @@ class _MessageTransfer:
     """
 
     __slots__ = ("network", "src", "dst", "msg", "rank", "abort", "phase")
+    _SNAPSHOT_FIELDS = ("network", "src", "dst", "msg", "rank", "abort", "phase")
 
     def __init__(
         self,
@@ -221,10 +223,11 @@ def _decline_scope(handler: object) -> tuple | None:
     return None
 
 
-class _BroadcastFanout:
+class _BroadcastFanout(SnapshotState):
     """One scheduled event delivering an express broadcast to all recipients."""
 
     __slots__ = ("network", "src", "msg")
+    _SNAPSHOT_FIELDS = ("network", "src", "msg")
 
     def __init__(self, network: "Network", src: int, msg: Message):
         self.network = network
@@ -272,8 +275,28 @@ class _BroadcastFanout:
         net._sim.count_inline_events(delivered)
 
 
-class Network:
+class Network(SnapshotState):
     """Connects protocol automata through bandwidth-limited pipes."""
+
+    #: The attach-time resolved hooks (``_on_message``, ``_declines``) are
+    #: bound methods of the attached processes; they pickle by reference and
+    #: re-resolve to the restored processes, so they are snapshotted rather
+    #: than rebuilt.
+    _SNAPSHOT_FIELDS = (
+        "_sim",
+        "_config",
+        "_num_nodes",
+        "_scalar_delay",
+        "_handlers",
+        "_on_message",
+        "_declines",
+        "_decline_types",
+        "_no_decline_cache",
+        "_egress",
+        "_ingress",
+        "stats",
+        "messages_delivered",
+    )
 
     def __init__(self, sim: Simulator, config: NetworkConfig):
         if config.num_nodes < 1:

@@ -49,6 +49,7 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import Callable
 
+from repro.common.snapshot import SnapshotState
 from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth
 from repro.sim.events import InternalCallback, Simulator
 from repro.sim.messages import Priority
@@ -63,8 +64,31 @@ _OnDone = Callable[[], None]
 _INF = math.inf
 
 
-class Pipe:
+class Pipe(SnapshotState):
     """Serialises byte transfers through a time-varying bandwidth limit."""
+
+    #: The prebound ``_drain_cb``/``_kick_entry`` are part of the snapshot:
+    #: bound methods pickle as (instance, name) references, so the restored
+    #: queue entries resolve to the restored pipe.
+    _SNAPSHOT_FIELDS = (
+        "_sim",
+        "_trace",
+        "_rate",
+        "_fifo",
+        "_heap",
+        "_ranked",
+        "_next_seq",
+        "_busy",
+        "_kick_head",
+        "_cur_size",
+        "_cur_on_done",
+        "_cur_start",
+        "_drain_cb",
+        "_kick_entry",
+        "bytes_transferred",
+        "bytes_aborted",
+        "busy_time",
+    )
 
     def __init__(self, sim: Simulator, trace: BandwidthTrace):
         self._sim = sim

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.common.errors import ConfigurationError
+from repro.common.snapshot import SnapshotState
 from repro.sim.events import InternalCallback, Simulator
 from repro.sim.network import Network
 
@@ -66,7 +67,7 @@ class TelemetrySpec:
             raise ConfigurationError("telemetry out_dir must be non-empty")
 
 
-class TraceRecorder:
+class TraceRecorder(SnapshotState):
     """Samples link and protocol state on a virtual-time grid.
 
     Usage (the engine does this when ``spec.telemetry.enabled``):
@@ -77,6 +78,18 @@ class TraceRecorder:
     3. :meth:`finish` — derives the post-run rows from the ledgers;
     4. :meth:`write_jsonl` (or read :attr:`rows` directly).
     """
+
+    _SNAPSHOT_FIELDS = (
+        "interval",
+        "rows",
+        "_sim",
+        "_network",
+        "_nodes",
+        "_collector",
+        "_tick",
+        "_busy",
+        "_last_sample_at",
+    )
 
     def __init__(self, interval: float = 1.0):
         if interval <= 0:

@@ -27,6 +27,7 @@ from typing import Any, Callable
 from repro.common.errors import DispersalError
 from repro.common.ids import VIDInstanceId
 from repro.common.params import ProtocolParams
+from repro.common.snapshot import SnapshotState
 from repro.sim.context import NodeContext
 from repro.sim.messages import Message
 from repro.vid.codec import BAD_UPLOADER, Chunk
@@ -79,8 +80,40 @@ def disperse_many(instances: list["AvidMInstance"], payloads: list[Any]) -> list
     return [inst._send_bundle(bundle) for inst, bundle in zip(instances, bundles)]
 
 
-class AvidMInstance:
+class AvidMInstance(SnapshotState):
     """One VID instance (server + optional client roles) at one node."""
+
+    #: ``_retrieval_result`` is set lazily on the first decode; a snapshot
+    #: taken before that simply omits it, and restore leaves it absent.
+    _SNAPSHOT_FIELDS = (
+        "params",
+        "instance",
+        "ctx",
+        "codec",
+        "on_complete",
+        "allowed_disperser",
+        "retrieval_rank",
+        "my_chunk",
+        "my_root",
+        "chunk_root",
+        "completed",
+        "_sent_got_chunk",
+        "_sent_ready_roots",
+        "_got_chunk_count",
+        "_ready_count",
+        "_got_chunk_seen",
+        "_ready_seen",
+        "_pending_requests",
+        "_return_msg",
+        "_retrieving",
+        "_retrieval_done",
+        "_retrieval_callbacks",
+        "_received_chunks",
+        "_return_chunk_seen",
+        "_requested",
+        "_cancelled_retrievers",
+        "_retrieval_result",
+    )
 
     def __init__(
         self,

@@ -15,6 +15,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.common.snapshot import SnapshotState
 from repro.core.block import Transaction
 from repro.core.node_base import BFTNodeBase
 from repro.core.txbatch import TxBatch
@@ -25,7 +26,7 @@ from repro.sim.events import Simulator
 DEFAULT_TX_SIZE = 250
 
 
-class PoissonTransactionGenerator:
+class PoissonTransactionGenerator(SnapshotState):
     """Feeds one node transactions following a Poisson arrival process.
 
     Args:
@@ -36,6 +37,8 @@ class PoissonTransactionGenerator:
         seed: RNG seed (generators with different seeds are independent).
         stop_at: stop generating at this virtual time (None = never).
     """
+
+    _SNAPSHOT_FIELDS = ("_sim", "_node", "_tx_size", "_mean_interarrival", "_rng", "_stop_at", "_sequence", "generated", "generated_bytes")
 
     def __init__(
         self,
@@ -85,9 +88,7 @@ class PoissonTransactionGenerator:
         self._schedule_next()
 
 
-def bursty_rate_profile(
-    mean_rate: float, period: float = 20.0, duty: float = 0.25
-) -> Callable[[float], float]:
+class BurstyRateProfile(SnapshotState):
     """An on/off load profile with mean ``mean_rate`` bytes per second.
 
     The client population is quiet most of the time and then bursts: for
@@ -95,45 +96,73 @@ def bursty_rate_profile(
     ``mean_rate / duty`` and zero otherwise, so the long-run average equals
     ``mean_rate``.  This is the classic packet-train / flash-crowd shape that
     a constant-rate Poisson sweep never exercises.
+
+    A plain class rather than a closure so a generator holding one can be
+    checkpointed (closures don't pickle).
     """
-    if mean_rate <= 0:
-        raise ValueError("mean_rate must be positive")
-    if period <= 0:
-        raise ValueError("period must be positive")
-    if not 0 < duty <= 1:
-        raise ValueError("duty must be in (0, 1]")
-    on_rate = mean_rate / duty
-    on_for = duty * period
 
-    def rate_at(t: float) -> float:
-        return on_rate if t % period < on_for else 0.0
+    __slots__ = ("period", "on_rate", "on_for")
+    _SNAPSHOT_FIELDS = ("period", "on_rate", "on_for")
 
-    return rate_at
+    def __init__(self, mean_rate: float, period: float = 20.0, duty: float = 0.25):
+        if mean_rate <= 0:
+            raise ValueError("mean_rate must be positive")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < duty <= 1:
+            raise ValueError("duty must be in (0, 1]")
+        self.period = period
+        self.on_rate = mean_rate / duty
+        self.on_for = duty * period
+
+    def __call__(self, t: float) -> float:
+        return self.on_rate if t % self.period < self.on_for else 0.0
+
+
+class DiurnalRateProfile(SnapshotState):
+    """A sinusoidal day/night load profile with mean ``mean_rate`` bytes/s.
+
+    The offered load swings between ``mean * (1 - amplitude)`` and
+    ``mean * (1 + amplitude)`` over each ``period`` (one simulated "day"),
+    starting at the trough so short runs see the ramp-up.  Picklable for the
+    same reason as :class:`BurstyRateProfile`.
+    """
+
+    __slots__ = ("mean_rate", "period", "amplitude")
+    _SNAPSHOT_FIELDS = ("mean_rate", "period", "amplitude")
+
+    def __init__(self, mean_rate: float, period: float = 60.0, amplitude: float = 0.8):
+        if mean_rate <= 0:
+            raise ValueError("mean_rate must be positive")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1)")
+        self.mean_rate = mean_rate
+        self.period = period
+        self.amplitude = amplitude
+
+    def __call__(self, t: float) -> float:
+        return self.mean_rate * (
+            1.0 - self.amplitude * math.cos(2.0 * math.pi * t / self.period)
+        )
+
+
+def bursty_rate_profile(
+    mean_rate: float, period: float = 20.0, duty: float = 0.25
+) -> Callable[[float], float]:
+    """Build a :class:`BurstyRateProfile` (kept as the stable factory API)."""
+    return BurstyRateProfile(mean_rate, period=period, duty=duty)
 
 
 def diurnal_rate_profile(
     mean_rate: float, period: float = 60.0, amplitude: float = 0.8
 ) -> Callable[[float], float]:
-    """A sinusoidal day/night load profile with mean ``mean_rate`` bytes/s.
-
-    The offered load swings between ``mean * (1 - amplitude)`` and
-    ``mean * (1 + amplitude)`` over each ``period`` (one simulated "day"),
-    starting at the trough so short runs see the ramp-up.
-    """
-    if mean_rate <= 0:
-        raise ValueError("mean_rate must be positive")
-    if period <= 0:
-        raise ValueError("period must be positive")
-    if not 0 <= amplitude < 1:
-        raise ValueError("amplitude must be in [0, 1)")
-
-    def rate_at(t: float) -> float:
-        return mean_rate * (1.0 - amplitude * math.cos(2.0 * math.pi * t / period))
-
-    return rate_at
+    """Build a :class:`DiurnalRateProfile` (kept as the stable factory API)."""
+    return DiurnalRateProfile(mean_rate, period=period, amplitude=amplitude)
 
 
-class ModulatedPoissonTransactionGenerator:
+class ModulatedPoissonTransactionGenerator(SnapshotState):
     """A Poisson arrival process whose rate follows a time-varying profile.
 
     ``rate_at`` gives the instantaneous offered load in bytes per second.
@@ -145,6 +174,8 @@ class ModulatedPoissonTransactionGenerator:
     breakpoint (including on/off edges of the bursty profile) to one
     ``max_step`` window.  Zero-rate stretches advance on the same horizon.
     """
+
+    _SNAPSHOT_FIELDS = ("_sim", "_node", "_rate_at", "_tx_size", "_rng", "_stop_at", "_max_step", "_sequence", "generated", "generated_bytes")
 
     def __init__(
         self,
@@ -205,7 +236,7 @@ class ModulatedPoissonTransactionGenerator:
         self._schedule_next()
 
 
-class SaturatingTransactionGenerator:
+class SaturatingTransactionGenerator(SnapshotState):
     """Keeps a node's mempool backlogged so it always has a full block to propose.
 
     Used for the "infinitely-backlogged" throughput measurements (S6.2): at a
@@ -217,6 +248,8 @@ class SaturatingTransactionGenerator:
     ``stop_at`` stops refilling at that virtual time (``None`` = never), the
     same drain-phase knob the Poisson generators offer.
     """
+
+    _SNAPSHOT_FIELDS = ("_sim", "_node", "_target", "_tx_size", "_interval", "_stop_at", "_sequence", "generated", "generated_bytes")
 
     def __init__(
         self,
@@ -267,7 +300,7 @@ class SaturatingTransactionGenerator:
         self._sim.schedule(self._interval, self._refill)
 
 
-class ColumnarPoissonTransactionGenerator:
+class ColumnarPoissonTransactionGenerator(SnapshotState):
     """Batched Poisson arrivals: one vectorised draw per scheduling window.
 
     Statistically the same homogeneous Poisson process as
@@ -283,6 +316,8 @@ class ColumnarPoissonTransactionGenerator:
     arrival by at most ``window`` seconds.  Latency measurements still use
     the exact per-transaction arrival stamps.
     """
+
+    _SNAPSHOT_FIELDS = ("_sim", "_node", "_tx_size", "_rate_tx", "_rng", "_stop_at", "_window", "_sequence", "generated", "generated_bytes")
 
     def __init__(
         self,
@@ -339,7 +374,7 @@ class ColumnarPoissonTransactionGenerator:
         self._sim.schedule(self._window, self._close_window)
 
 
-class ColumnarSaturatingTransactionGenerator:
+class ColumnarSaturatingTransactionGenerator(SnapshotState):
     """Batched version of :class:`SaturatingTransactionGenerator`.
 
     Same refill policy — top the mempool up to ``target_pending_bytes``
@@ -347,6 +382,8 @@ class ColumnarSaturatingTransactionGenerator:
     built from vectorised id/size columns, so an infinitely-backlogged
     million-transaction run allocates arrays, not objects.
     """
+
+    _SNAPSHOT_FIELDS = ("_sim", "_node", "_target", "_tx_size", "_interval", "_stop_at", "_sequence", "generated", "generated_bytes")
 
     def __init__(
         self,

@@ -1,0 +1,373 @@
+"""The ``repro-ckpt-v1`` checkpoint subsystem: format, mixin, timer, CLI.
+
+Covers the snapshot envelope's typed error paths (truncated file, version
+mismatch, corruption, foreign-scenario restore), the :class:`SnapshotState`
+field-drift detection, the deferred-compaction guard in the event loop, the
+periodic :class:`CheckpointTimer`, and the ``resume`` CLI's one-line exit-2
+error convention.  The end-to-end bit-identical-continuation guarantees are
+exercised in ``test_snapshot_properties.py`` and ``test_sweep_resume.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import zlib
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SnapshotError
+from repro.common.snapshot import SnapshotState
+from repro.experiments.cli import main as cli_main
+from repro.experiments.scenario import ScenarioSpec
+from repro.sim.events import InternalCallback, Simulator
+from repro.sim.snapshot import (
+    FORMAT_VERSION,
+    KIND_SIMULATION,
+    CheckpointTimer,
+    SimulationState,
+    load_checkpoint,
+    read_snapshot_file,
+    read_snapshot_header,
+    save_checkpoint,
+    write_snapshot_file,
+)
+
+
+# ---------------------------------------------------------------------------
+# SnapshotState mixin
+# ---------------------------------------------------------------------------
+
+
+class _Declared(SnapshotState):
+    _SNAPSHOT_FIELDS = ("a", "b")
+
+    def __init__(self):
+        self.a = 1
+        self.b = 2
+
+
+class _Lazy(SnapshotState):
+    _SNAPSHOT_FIELDS = ("x", "maybe")
+
+    def __init__(self):
+        self.x = 1  # ``maybe`` is only set on some code paths
+
+
+class _Slotted(SnapshotState):
+    __slots__ = ("u", "v")
+    _SNAPSHOT_FIELDS = ("u", "v")
+
+    def __init__(self):
+        self.u = 10
+        self.v = 20
+
+
+class _SlottedDrift(SnapshotState):
+    __slots__ = ("u", "undeclared")
+    _SNAPSHOT_FIELDS = ("u",)
+
+    def __init__(self):
+        self.u = 10
+        self.undeclared = 99
+
+
+def test_snapshot_state_pickles_through_declared_fields():
+    obj = _Declared()
+    obj.b = 5
+    clone = pickle.loads(pickle.dumps(obj))
+    assert (clone.a, clone.b) == (1, 5)
+
+
+def test_undeclared_dict_attribute_is_rejected():
+    obj = _Declared()
+    obj.c = 3
+    with pytest.raises(SnapshotError, match="c"):
+        obj.snapshot_state()
+
+
+def test_undeclared_slot_is_rejected():
+    with pytest.raises(SnapshotError, match="undeclared"):
+        _SlottedDrift().snapshot_state()
+
+
+def test_unknown_restore_key_is_rejected():
+    with pytest.raises(SnapshotError, match="zz"):
+        _Declared().restore_state({"a": 1, "zz": 2})
+
+
+def test_absent_declared_field_stays_absent_after_restore():
+    clone = pickle.loads(pickle.dumps(_Lazy()))
+    assert clone.x == 1
+    assert not hasattr(clone, "maybe")
+
+
+def test_slotted_class_round_trips():
+    clone = pickle.loads(pickle.dumps(_Slotted()))
+    assert (clone.u, clone.v) == (10, 20)
+
+
+# ---------------------------------------------------------------------------
+# The repro-ckpt-v1 envelope
+# ---------------------------------------------------------------------------
+
+
+def _write(tmp_path, payload=("hello", 42), **kwargs):
+    path = tmp_path / "x.ckpt"
+    write_snapshot_file(
+        path,
+        payload,
+        kind=kwargs.pop("kind", "simulation"),
+        fingerprint=kwargs.pop("fingerprint", "cafe" * 4),
+    )
+    return path
+
+
+def test_envelope_round_trip(tmp_path):
+    path = _write(tmp_path)
+    header, payload = read_snapshot_file(
+        path, kind="simulation", expect_fingerprint="cafe" * 4
+    )
+    assert header["format"] == FORMAT_VERSION
+    assert payload == ("hello", 42)
+
+
+def test_truncated_payload_is_a_snapshot_error(tmp_path):
+    path = _write(tmp_path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-5])
+    with pytest.raises(SnapshotError, match="truncated"):
+        read_snapshot_file(path)
+    # The header itself is intact, so header-only reads still work.
+    assert read_snapshot_header(path)["format"] == FORMAT_VERSION
+
+
+def test_corrupted_payload_is_a_snapshot_error(tmp_path):
+    path = _write(tmp_path)
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotError, match="checksum"):
+        read_snapshot_file(path)
+
+
+def test_version_mismatch_is_a_snapshot_error(tmp_path):
+    path = _write(tmp_path)
+    blob = path.read_bytes()
+    newline = blob.find(b"\n")
+    header = json.loads(blob[:newline])
+    header["format"] = "repro-ckpt-v0"
+    path.write_bytes(json.dumps(header).encode() + blob[newline:])
+    with pytest.raises(SnapshotError, match="repro-ckpt-v0"):
+        read_snapshot_header(path)
+
+
+def test_headerless_file_is_a_snapshot_error(tmp_path):
+    path = tmp_path / "bad.ckpt"
+    path.write_bytes(b"not a checkpoint at all")
+    with pytest.raises(SnapshotError, match="no header"):
+        read_snapshot_header(path)
+    path.write_bytes(b"not json\n" + b"tail")
+    with pytest.raises(SnapshotError, match="unparseable"):
+        read_snapshot_header(path)
+
+
+def test_missing_file_is_a_snapshot_error(tmp_path):
+    with pytest.raises(SnapshotError, match="cannot read"):
+        read_snapshot_header(tmp_path / "absent.ckpt")
+
+
+def test_wrong_kind_is_a_snapshot_error(tmp_path):
+    path = _write(tmp_path, kind="sweep-point")
+    with pytest.raises(SnapshotError, match="sweep-point"):
+        read_snapshot_file(path, kind="simulation")
+
+
+def test_foreign_fingerprint_is_a_snapshot_error(tmp_path):
+    path = _write(tmp_path)
+    with pytest.raises(SnapshotError, match="foreign-scenario"):
+        read_snapshot_file(path, expect_fingerprint="beef" * 4)
+
+
+def test_load_checkpoint_rejects_non_simulation_payload(tmp_path):
+    path = _write(tmp_path, kind=KIND_SIMULATION)
+    with pytest.raises(SnapshotError, match="SimulationState"):
+        load_checkpoint(path)
+
+
+# ---------------------------------------------------------------------------
+# CheckpointTimer
+# ---------------------------------------------------------------------------
+
+
+def _bare_state(sim: Simulator) -> SimulationState:
+    return SimulationState(
+        fingerprint="f00d" * 4,
+        protocol="dl",
+        duration=10.0,
+        warmup=0.0,
+        seed=0,
+        sim=sim,
+        network=None,
+        collector=None,
+        nodes=[],
+        generators=[],
+    )
+
+
+def test_checkpoint_timer_rejects_non_positive_interval(tmp_path):
+    state = _bare_state(Simulator())
+    with pytest.raises(SnapshotError, match="positive"):
+        CheckpointTimer(state, tmp_path / "x.ckpt", 0.0)
+    with pytest.raises(SnapshotError, match="positive"):
+        CheckpointTimer(state, tmp_path / "x.ckpt", -1.0)
+
+
+def test_checkpoint_timer_fires_periodically_and_is_uncounted(tmp_path):
+    sim = Simulator()
+    state = _bare_state(sim)
+    path = tmp_path / "tick.ckpt"
+    timer = CheckpointTimer(state, path, 2.5)
+    timer.arm()
+    sim.run(until=10.0)
+    assert timer.checkpoints_written == 4  # t = 2.5, 5.0, 7.5, 10.0
+    header = read_snapshot_header(path)
+    assert header["virtual_time"] == 10.0
+    # Internal callbacks never count as processed events.
+    assert sim.processed_events == 0
+    # The written checkpoint restores to an equivalent state.
+    restored = load_checkpoint(path, expect_fingerprint="f00d" * 4)
+    assert restored.sim.now == 10.0
+
+
+# ---------------------------------------------------------------------------
+# Deferred heap compaction (cancel storm inside an InternalCallback hand-off)
+# ---------------------------------------------------------------------------
+
+
+class _FireLog:
+    """Picklable event sink: records which scheduled events actually ran."""
+
+    def __init__(self):
+        self.fired = []
+
+
+class _Append:
+    def __init__(self, log: _FireLog, index: int):
+        self.log = log
+        self.index = index
+
+    def __call__(self):
+        self.log.fired.append(self.index)
+
+
+def test_compaction_is_deferred_during_internal_callback_handoff():
+    """Regression: a cancel storm inside an ``InternalCallback`` must not
+    compact (and thereby reorder/rewrite) the queue mid-hand-off.
+
+    The hand-off cancels enough events to trip the compaction threshold and
+    then snapshots the simulator: the snapshot must capture the queue with
+    its lazily-deleted slots intact, the owed compaction must run only after
+    the hand-off returns, and the snapshot must restore and continue to the
+    exact same deliveries as the original run.
+    """
+    sim = Simulator()
+    log = _FireLog()
+    events = [sim.schedule_event(1.0 + i * 0.001, _Append(log, i)) for i in range(200)]
+
+    observed = {}
+
+    def hand_off():
+        for event in events[:150]:
+            event.cancel()
+        observed["stale"] = sim._stale
+        observed["deferred"] = sim._compact_deferred
+        observed["queue_len"] = len(sim._queue)
+        observed["snapshot"] = pickle.dumps(sim)
+
+    sim.schedule_internal(0.5, InternalCallback(hand_off))
+    sim.run(until=2.0)
+
+    # During the hand-off: compaction owed but not executed.
+    assert observed["deferred"] is True
+    assert observed["stale"] == 150
+    assert observed["queue_len"] == 200
+    # After the hand-off returned: the owed compaction ran.
+    assert sim._compact_deferred is False
+    assert sim._stale == 0
+    assert log.fired == list(range(150, 200))
+
+    # The mid-hand-off snapshot continues bit-identically.
+    clone = pickle.loads(observed["snapshot"])
+    clone_log = None
+    for _when, _seq, item in clone._queue:
+        callback = getattr(item, "callback", None)
+        if isinstance(callback, _Append):
+            clone_log = callback.log
+            break
+    assert clone_log is not None
+    clone.run(until=2.0)
+    assert clone_log.fired == log.fired
+    assert clone.now == sim.now
+    assert clone.processed_events == sim.processed_events
+
+
+# ---------------------------------------------------------------------------
+# Scenario-spec field and CLI error conventions
+# ---------------------------------------------------------------------------
+
+
+def test_checkpoint_every_spec_field_validation():
+    spec = ScenarioSpec(checkpoint_every=2.0)
+    assert spec.checkpoint_every == 2.0
+    with pytest.raises(ConfigurationError, match="positive"):
+        ScenarioSpec(checkpoint_every=0.0)
+    with pytest.raises(ConfigurationError, match="vid-cost"):
+        ScenarioSpec(kind="vid-cost", checkpoint_every=1.0)
+
+
+def test_checkpoint_every_round_trips_through_dict():
+    spec = ScenarioSpec(checkpoint_every=1.5)
+    assert ScenarioSpec.from_dict(spec.to_dict()).checkpoint_every == 1.5
+    assert ScenarioSpec.from_dict(ScenarioSpec().to_dict()).checkpoint_every is None
+
+
+def test_vid_cost_scenario_refuses_resume(tmp_path):
+    from repro.experiments.engine import run_scenario
+
+    spec = ScenarioSpec(kind="vid-cost", name="vid")
+    with pytest.raises(SnapshotError, match="analytic"):
+        run_scenario(spec, resume_from=tmp_path / "whatever.ckpt")
+
+
+@pytest.mark.parametrize(
+    "prepare, match",
+    [
+        (lambda p: None, "cannot read"),
+        (lambda p: p.write_bytes(b"garbage without newline"), "no header"),
+        (lambda p: p.write_bytes(b'{"format": "repro-ckpt-v0"}\npayload'), "repro-ckpt-v0"),
+    ],
+)
+def test_resume_cli_reports_one_line_error_and_exit_2(tmp_path, capsys, prepare, match):
+    path = tmp_path / "bad.ckpt"
+    prepare(path)
+    rc = cli_main(["resume", str(path)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert captured.out == ""
+    lines = [line for line in captured.err.splitlines() if line]
+    assert len(lines) == 1
+    assert lines[0].startswith("error: ")
+    assert match.split()[0] in lines[0] or match in lines[0]
+
+
+def test_resume_cli_truncated_checkpoint_exit_2(tmp_path, capsys):
+    sim = Simulator()
+    path = save_checkpoint(tmp_path / "t.ckpt", _bare_state(sim))
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-10])
+    rc = cli_main(["resume", str(path)])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert captured.err.startswith("error: ")
+    assert "truncated" in captured.err

@@ -1,0 +1,161 @@
+"""Snapshot/restore/continue must be invisible: byte-identical summaries.
+
+Three layers of evidence:
+
+* a hypothesis property — arbitrary fast-tier catalog scenarios snapshotted
+  at arbitrary mid-run times, restored **in a fresh process** (via the
+  ``resume`` CLI subcommand) and continued, must reproduce the clean run's
+  summary JSON byte-for-byte, event counts included;
+* a deterministic sweep over every fast-tier golden ``sim`` scenario,
+  snapshotting its first pinned point mid-run and diffing the fresh-process
+  continuation against the pinned golden snapshot on disk;
+* a structural probe asserting the chosen snapshot time really does land
+  mid-epoch, mid-dispersal and mid-transfer — so the suite cannot quietly
+  degrade into snapshotting quiesced states only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.experiments.golden import SLOW_GOLDEN, golden_names, golden_points
+from repro.experiments.runner import build_experiment
+from repro.experiments.scenario import ScenarioSpec, build_network_config
+from repro.sim.snapshot import save_checkpoint
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _fast_sim_golden_names() -> list[str]:
+    names = []
+    for name in golden_names():
+        if name in SLOW_GOLDEN:
+            continue
+        _config, base, _points = golden_points(name)
+        if base.kind == "sim":
+            names.append(name)
+    return names
+
+
+def _build_state(spec: ScenarioSpec, overrides: dict):
+    return build_experiment(
+        spec.protocol,
+        build_network_config(spec),
+        spec.duration,
+        workload=spec.workload,
+        node_config=spec.node,
+        params=spec.params(),
+        seed=spec.seed,
+        warmup=spec.effective_warmup(),
+        adversary=spec.adversary,
+        max_epochs=spec.max_epochs,
+        meta={"spec": spec.to_dict(), "overrides": dict(overrides)},
+    )
+
+
+def _resume_in_fresh_process(checkpoint: Path) -> dict:
+    """Continue ``checkpoint`` via the CLI in a brand-new interpreter."""
+    env = {**os.environ, "PYTHONPATH": SRC_DIR}
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "resume", str(checkpoint), "--json"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+_CLEAN_CACHE: dict[str, dict] = {}
+
+
+def _clean_first_point_summary(name: str) -> dict:
+    """The uninterrupted summary of a scenario's first golden point (cached)."""
+    if name not in _CLEAN_CACHE:
+        from repro.experiments.engine import run_scenario
+
+        _config, _base, points = golden_points(name)
+        overrides, spec = points[0]
+        _CLEAN_CACHE[name] = run_scenario(spec, overrides).summary()
+    return _CLEAN_CACHE[name]
+
+
+# A diverse slice of the fast tier: plain replay, a mid-run crash, both
+# node-class adversaries, and the heterogeneous-straggler topology.
+PROPERTY_SCENARIOS = (
+    "trace-replay-wan",
+    "mid-run-crash",
+    "censor-victim",
+    "equivocate-split",
+    "straggler-hetero",
+)
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+@given(
+    name=st.sampled_from(PROPERTY_SCENARIOS),
+    fraction=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_snapshot_restore_continue_is_byte_identical(name: str, fraction: float):
+    _config, _base, points = golden_points(name)
+    overrides, spec = points[0]
+    state = _build_state(spec, overrides)
+    state.sim.run(until=spec.duration * fraction)
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "mid.ckpt"
+        save_checkpoint(checkpoint, state)
+        resumed = _resume_in_fresh_process(checkpoint)
+    clean = _clean_first_point_summary(name)
+    assert json.dumps(resumed, sort_keys=True) == json.dumps(clean, sort_keys=True)
+    assert resumed["events_processed"] == clean["events_processed"]
+
+
+@pytest.mark.parametrize("name", _fast_sim_golden_names())
+def test_fast_golden_scenarios_resume_to_pinned_snapshot(name: str, tmp_path):
+    """Snapshot mid-run, restore in a fresh process, diff against the golden."""
+    _config, _base, points = golden_points(name)
+    overrides, spec = points[0]
+    state = _build_state(spec, overrides)
+    state.sim.run(until=spec.duration * 0.37)
+    checkpoint = tmp_path / f"{name}.ckpt"
+    save_checkpoint(checkpoint, state)
+    resumed = _resume_in_fresh_process(checkpoint)
+    pinned = json.loads((GOLDEN_DIR / f"{name}.json").read_text())["summaries"][0]
+    assert json.dumps(resumed, sort_keys=True) == json.dumps(pinned, sort_keys=True)
+
+
+def test_snapshot_point_lands_mid_epoch_mid_dispersal_mid_transfer():
+    """Mid-run snapshot times inside the property range are genuinely mid-flight."""
+    _config, _base, points = golden_points("trace-replay-wan")
+    overrides, spec = points[0]
+    state = _build_state(spec, overrides)
+    state.sim.run(until=spec.duration * 0.5)
+    # Mid-epoch: proposal frontier ahead of the delivery frontier.
+    assert any(n.current_epoch > n.delivered_epoch for n in state.nodes)
+    # Mid-dispersal: VID instances still outstanding.
+    assert any(len(n._vid_instances) > 0 for n in state.nodes)
+    # Mid-transfer: at least one egress pipe is actively draining bytes, and
+    # further transfers are queued behind it.
+    assert any(pipe._busy for pipe in state.network._egress)
+    assert any(
+        pipe._fifo or pipe._heap for pipe in state.network._egress
+    )
+    # And the event queue is non-trivial (slotted entries to snapshot).
+    assert len(state.sim._queue) > 0

@@ -1,0 +1,109 @@
+"""Crash-injection for ``sweep(resume_dir=...)``: SIGKILL, resume, bit-identical.
+
+A child process runs a three-point serial sweep with a resume journal; the
+parent SIGKILLs it as soon as the first point's result file lands (so the
+child dies mid-point), then reruns the sweep with the same journal and
+asserts that (i) only the unfinished points re-execute — the journalled
+files are reused byte-for-byte, not rewritten — and (ii) the final
+:class:`SweepResult` is bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import repro
+from repro.experiments.catalog import get_scenario
+from repro.experiments.engine import sweep
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+SCENARIO = "straggler-hetero"
+DURATION = 2.5
+GRID = {"seed": (0, 1, 2)}
+
+_CHILD_SCRIPT = f"""
+import sys
+from dataclasses import replace
+from repro.experiments.catalog import get_scenario
+from repro.experiments.engine import sweep
+
+base = replace(get_scenario({SCENARIO!r}).base, duration={DURATION!r})
+sweep(base, {GRID!r}, parallel=False, resume_dir=sys.argv[1])
+"""
+
+
+def _base_spec():
+    return replace(get_scenario(SCENARIO).base, duration=DURATION)
+
+
+def test_sigkilled_sweep_resumes_only_unfinished_points(tmp_path):
+    journal = tmp_path / "journal"
+    env = {**os.environ, "PYTHONPATH": SRC_DIR}
+    child = subprocess.Popen(
+        [sys.executable, "-c", _CHILD_SCRIPT, str(journal)], env=env
+    )
+    try:
+        # Wait for the first completed point, then SIGKILL mid-next-point.
+        deadline = time.monotonic() + 180
+        first = journal / "point-0000.ckpt"
+        while time.monotonic() < deadline:
+            if first.exists() or child.poll() is not None:
+                break
+            time.sleep(0.02)
+        assert first.exists(), "child never completed its first sweep point"
+    finally:
+        child.kill()
+        child.wait()
+
+    finished = sorted(journal.glob("point-*.ckpt"))
+    finished_indices = [int(path.stem.split("-")[1]) for path in finished]
+    assert finished_indices, "no journalled points survived the kill"
+    assert len(finished_indices) < 3, "the sweep completed before the kill landed"
+    before = {path.name: path.read_bytes() for path in finished}
+
+    base = _base_spec()
+    resumed = sweep(base, GRID, parallel=False, resume_dir=str(journal))
+    assert resumed.resumed_points == finished_indices
+
+    # The journalled results were reused verbatim; the missing ones now exist.
+    for name, blob in before.items():
+        assert (journal / name).read_bytes() == blob
+    assert sorted(p.name for p in journal.glob("point-*.ckpt")) == [
+        f"point-{i:04d}.ckpt" for i in range(3)
+    ]
+
+    clean = sweep(base, GRID, parallel=False)
+    assert json.dumps(resumed.summaries(), sort_keys=True) == json.dumps(
+        clean.summaries(), sort_keys=True
+    )
+    assert resumed.events_processed == clean.events_processed
+    assert resumed.tx_generated == clean.tx_generated
+    assert resumed.tx_committed == clean.tx_committed
+
+
+def test_stale_journal_from_a_different_sweep_is_ignored(tmp_path):
+    """Changing the base spec invalidates every journalled point (fingerprints)."""
+    journal = tmp_path / "journal"
+    base = _base_spec()
+    first = sweep(base, GRID, parallel=False, resume_dir=str(journal))
+    assert first.resumed_points == []
+
+    # Same journal, different sweep: nothing may be reused.
+    other = replace(base, duration=DURATION + 0.5)
+    resumed = sweep(other, GRID, parallel=False, resume_dir=str(journal))
+    assert resumed.resumed_points == []
+
+    # Rerunning the original sweep *after* the journal was overwritten by the
+    # other sweep re-executes everything again rather than mixing results.
+    again = sweep(base, GRID, parallel=False, resume_dir=str(journal))
+    assert again.resumed_points == []
+    assert json.dumps(again.summaries(), sort_keys=True) == json.dumps(
+        first.summaries(), sort_keys=True
+    )
