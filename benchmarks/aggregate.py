@@ -1,0 +1,132 @@
+"""Merge every ``benchmarks/BENCH_*.json`` into one trajectory table.
+
+Each ``bench_*_report.py`` script appends one entry per invocation to its
+own ``BENCH_<name>.json``, so the per-PR performance trajectory is
+scattered across files with heterogeneous schemas (most are JSON lists;
+``BENCH_substrates.json`` is a single dict).  This script flattens them all
+into uniform rows — report name, entry number, dotted-path numeric metrics
+— prints an aligned table with one headline metric per entry, and can write
+the merged trajectory as JSON for plotting.
+
+Run standalone::
+
+    python benchmarks/aggregate.py [--dir benchmarks] [--json merged.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any
+
+BENCH_DIR = Path(__file__).parent
+
+#: Substrings tried in order to pick each entry's headline metric; the
+#: first flattened key containing one of these wins.  Per-report speedups
+#: and throughputs outrank raw second counts.
+HEADLINE_PRIORITY = (
+    "parallel_speedup",
+    "speedup",
+    "events_per_second",
+    "throughput",
+    "per_second",
+    "seconds",
+)
+
+
+def load_entries(path: Path) -> list[dict[str, Any]]:
+    """Normalise one BENCH file to a list of entry dicts."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(data, dict):
+        return [data]
+    if isinstance(data, list) and all(isinstance(item, dict) for item in data):
+        return data
+    raise ValueError(f"{path} is neither a JSON object nor a list of objects")
+
+
+def flatten_metrics(entry: dict[str, Any], prefix: str = "") -> dict[str, float]:
+    """Numeric scalars of ``entry``, nested dicts joined with dots."""
+    metrics: dict[str, float] = {}
+    for key, value in entry.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            metrics[dotted] = float(value)
+        elif isinstance(value, dict):
+            metrics.update(flatten_metrics(value, prefix=f"{dotted}."))
+    return metrics
+
+
+def headline_metric(metrics: dict[str, float]) -> tuple[str, float] | None:
+    """The most interesting metric of an entry, by :data:`HEADLINE_PRIORITY`."""
+    for needle in HEADLINE_PRIORITY:
+        for key in sorted(metrics):
+            if needle in key:
+                return key, metrics[key]
+    for key in sorted(metrics):
+        return key, metrics[key]
+    return None
+
+
+def aggregate(bench_dir: Path) -> list[dict[str, Any]]:
+    """One row per (report, entry) across every ``BENCH_*.json`` in ``bench_dir``."""
+    rows: list[dict[str, Any]] = []
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        report = path.stem.removeprefix("BENCH_")
+        for index, entry in enumerate(load_entries(path)):
+            rows.append(
+                {
+                    "report": report,
+                    "entry": index,
+                    "metrics": flatten_metrics(entry),
+                }
+            )
+    return rows
+
+
+def render_table(rows: list[dict[str, Any]]) -> str:
+    """The trajectory as an aligned text table, one line per entry."""
+    lines = [f"{'report':<12} {'entry':>5}  {'headline metric':<44} {'value':>14}"]
+    for row in rows:
+        headline = headline_metric(row["metrics"])
+        name, value = headline if headline else ("-", float("nan"))
+        lines.append(
+            f"{row['report']:<12} {row['entry']:>5}  {name:<44} {value:>14,.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Merge benchmarks/BENCH_*.json into one trajectory table"
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=BENCH_DIR,
+        help="directory holding the BENCH_*.json files (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the merged rows as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    rows = aggregate(args.dir)
+    if not rows:
+        print(f"no BENCH_*.json files under {args.dir}")
+        return 1
+    print(render_table(rows))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {len(rows)} rows to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.adversary.registry import AdversarySpec
 from repro.core.config import NodeConfig
 from repro.experiments.engine import sweep
+from repro.experiments.options import ExecutionOptions
 from repro.experiments.runner import WorkloadSpec
 from repro.experiments.scenario import BandwidthSpec, ScenarioSpec, TopologySpec
 from repro.workload.traces import MB
@@ -53,7 +54,7 @@ FAULTS = (
 
 def run_report(base: ScenarioSpec = BASE) -> dict:
     started = time.perf_counter()
-    result = sweep(base, {"faults": FAULTS}, parallel=False)
+    result = sweep(base, {"faults": FAULTS}, options=ExecutionOptions(parallel=False))
     seconds = time.perf_counter() - started
     summaries = result.summaries()
 

@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro.core.config import NodeConfig
 from repro.experiments.engine import sweep
+from repro.experiments.options import ExecutionOptions
 from repro.experiments.runner import WorkloadSpec
 from repro.experiments.scenario import BandwidthSpec, ScenarioSpec, TopologySpec
 from repro.workload.traces import MB
@@ -46,11 +47,11 @@ GRID = {"seed": (0, 1, 2, 3)}
 
 def run_report(base: ScenarioSpec = BASE, grid: dict = GRID) -> dict:
     serial_started = time.perf_counter()
-    serial = sweep(base, grid, parallel=False)
+    serial = sweep(base, grid, options=ExecutionOptions(parallel=False))
     serial_seconds = time.perf_counter() - serial_started
 
     parallel_started = time.perf_counter()
-    parallel = sweep(base, grid, parallel=True)
+    parallel = sweep(base, grid, options=ExecutionOptions(parallel=True))
     parallel_seconds = time.perf_counter() - parallel_started
 
     if serial.summaries() != parallel.summaries():

@@ -32,6 +32,7 @@ from pathlib import Path
 
 from repro.experiments.catalog import get_scenario
 from repro.experiments.engine import run_scenario
+from repro.experiments.options import ExecutionOptions
 from repro.experiments.runner import build_experiment, resume_experiment
 from repro.experiments.scenario import build_network_config
 from repro.sim.snapshot import load_checkpoint, save_checkpoint
@@ -56,7 +57,7 @@ def measure(duration: float, checkpoints: int) -> dict:
         ckpt_path = Path(tmp) / "bench.ckpt"
         ckpt_spec = replace(spec, checkpoint_every=duration / checkpoints)
         ckpt_started = time.perf_counter()
-        checkpointed = run_scenario(ckpt_spec, checkpoint_path=ckpt_path)
+        checkpointed = run_scenario(ckpt_spec, options=ExecutionOptions(checkpoint_path=ckpt_path))
         ckpt_seconds = time.perf_counter() - ckpt_started
         checkpoint_bytes = ckpt_path.stat().st_size
 

@@ -70,6 +70,7 @@ from repro.experiments.engine import (
 from repro.experiments.cli import load_spec_file
 from repro.experiments.fig02 import measure_avid_m_dispersal_cost, vid_cost_curve
 from repro.experiments.golden import canonical_json, golden_names, golden_payload
+from repro.experiments.options import ExecutionOptions
 from repro.experiments.geo import progress_timelines, run_geo_throughput, run_vultr_throughput
 from repro.experiments.latency import run_latency_metric_comparison, run_latency_sweep
 from repro.experiments.runner import (
@@ -95,10 +96,12 @@ from repro.experiments.scenario import (
 )
 from repro.experiments.scalability import model_sweep, simulate_point, validate_cost_model
 from repro.experiments.summary import headline_from_results, run_headline_summary
+from repro.experiments.windowed import run_windowed_sweep, window_boundaries
 
 __all__ = [
     "BANDWIDTH_MODELS",
     "BandwidthSpec",
+    "ExecutionOptions",
     "ExperimentResult",
     "NamedScenario",
     "PROTOCOLS",
@@ -137,8 +140,10 @@ __all__ = [
     "run_spatial_variation",
     "run_temporal_variation",
     "run_vultr_throughput",
+    "run_windowed_sweep",
     "simulate_point",
     "sweep",
     "validate_cost_model",
     "vid_cost_curve",
+    "window_boundaries",
 ]

@@ -25,12 +25,21 @@ unified summary table.  ``--set`` overrides base-spec fields by dotted path;
 values are parsed as JSON when possible (``--set workload.kind=bursty``
 works too, falling back to the raw string).
 
+``run``, ``sweep`` and ``resume`` share one execution-options group
+(:func:`add_execution_options`): ``--checkpoint-every`` arms periodic
+checkpointing, ``--telemetry`` records a per-point JSONL time-series, and
+``--workers`` sizes the process pool.  Misuse is always a one-line
+``error: ...`` and exit status 2, never a traceback.
+
 ``resume`` continues a ``repro-ckpt-v1`` checkpoint (written by
-``checkpoint_every`` / ``--set checkpoint_every=…``) to completion and
+``--checkpoint-every`` / ``--set checkpoint_every=…``) to completion and
 prints the same unified summary ``run`` would have produced; a truncated,
 corrupt, or foreign-scenario file is a one-line error and exit status 2.
 ``run`` and ``sweep`` accept ``--resume-dir`` to journal per-point results
-so a crashed sweep re-runs only its unfinished points.
+so a crashed sweep re-runs only its unfinished points, and ``--windows W``
+to execute every point as ``W`` checkpoint-hand-off windows
+(:mod:`repro.experiments.windowed`) — pipelined across workers, with
+warmup-prefix sharing, and byte-identical summaries.
 
 ``trace`` groups the measured-bandwidth utilities — ``inspect`` a trace
 file, ``convert`` between the CSV and JSON formats (optionally resampling,
@@ -50,6 +59,7 @@ from typing import Any, Sequence
 from repro.common.errors import ConfigurationError, SnapshotError
 from repro.experiments.catalog import NamedScenario, get_scenario, list_scenarios
 from repro.experiments.engine import ScenarioResult, SweepResult, sweep
+from repro.experiments.options import ExecutionOptions
 from repro.experiments.runner import resume_experiment
 from repro.experiments.scenario import ScenarioSpec, apply_override
 from repro.trace.cli import add_trace_parser, run_trace_command
@@ -120,6 +130,59 @@ def _parse_axis(text: str) -> tuple[str, tuple[Any, ...]]:
     return path, parsed
 
 
+def add_execution_options(cmd: argparse.ArgumentParser, *, sweepable: bool) -> None:
+    """The shared execution-options group for ``run``, ``sweep`` and ``resume``.
+
+    Every flag is defined exactly once, so help text, types and defaults
+    stay consistent across the subcommands; ``sweepable`` selects the subset
+    that applies to grid execution versus single-checkpoint continuation.
+    All of them produce one-line ``error: ...`` messages and exit status 2
+    when misused — never a traceback.
+    """
+    group = cmd.add_argument_group("execution options")
+    group.add_argument(
+        "--checkpoint-every",
+        type=float,
+        help="write a repro-ckpt-v1 checkpoint every this many virtual "
+        "seconds while the run executes",
+    )
+    group.add_argument("--json", action="store_true", help="emit JSON summaries")
+    if sweepable:
+        group.add_argument("--serial", action="store_true", help="run points in-process")
+        group.add_argument("--workers", type=int, help="worker-process count")
+        group.add_argument(
+            "--windows",
+            type=int,
+            help="split every point into this many checkpoint-hand-off "
+            "windows, pipelined across workers; points agreeing on a prefix "
+            "of the horizon fork one shared execution of it, and summaries "
+            "stay byte-identical to a monolithic run",
+        )
+        group.add_argument(
+            "--window-dir",
+            help="where hand-off checkpoints and telemetry segments live "
+            "(default: a temporary directory removed after the sweep)",
+        )
+        group.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="record a per-point telemetry time-series (JSONL under the "
+            "spec's telemetry.out_dir, default telemetry/)",
+        )
+        group.add_argument(
+            "--resume-dir",
+            help="crash-resume journal directory: each completed point is "
+            "recorded there, and rerunning after an interruption re-executes "
+            "only the unfinished points",
+        )
+    else:
+        group.add_argument(
+            "--checkpoint-path",
+            help="where continued checkpoints are written "
+            "(default: overwrite the source file)",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -157,35 +220,33 @@ def build_parser() -> argparse.ArgumentParser:
             default=[],
             help="add a sweep axis (repeatable); replaces a same-named catalog axis",
         )
-        cmd.add_argument("--serial", action="store_true", help="run points in-process")
-        cmd.add_argument("--workers", type=int, help="worker-process count")
-        cmd.add_argument("--json", action="store_true", help="emit JSON summaries")
-        cmd.add_argument(
-            "--resume-dir",
-            help="crash-resume journal directory: each completed point is "
-            "recorded there, and rerunning after an interruption re-executes "
-            "only the unfinished points",
-        )
+        add_execution_options(cmd, sweepable=True)
 
     resume = sub.add_parser(
         "resume", help="continue a repro-ckpt-v1 checkpoint to completion"
     )
     resume.add_argument("checkpoint", help="path to a repro-ckpt-v1 checkpoint file")
-    resume.add_argument(
-        "--checkpoint-every",
-        type=float,
-        help="keep checkpointing every this many virtual seconds while the "
-        "resumed run executes",
-    )
-    resume.add_argument(
-        "--checkpoint-path",
-        help="where continued checkpoints are written "
-        "(default: overwrite the source file)",
-    )
-    resume.add_argument("--json", action="store_true", help="emit a JSON summary")
+    add_execution_options(resume, sweepable=False)
 
     add_trace_parser(sub)
     return parser
+
+
+def options_from_args(args: argparse.Namespace) -> ExecutionOptions:
+    """Build the sweep :class:`ExecutionOptions` from parsed run/sweep flags.
+
+    Validation lives in ``ExecutionOptions.__post_init__``; a bad
+    combination (``--windows`` with ``--resume-dir``, zero workers, ...)
+    raises :class:`ConfigurationError`, which ``main`` reports as a
+    one-line error with exit status 2.
+    """
+    return ExecutionOptions(
+        parallel=not args.serial,
+        workers=args.workers,
+        resume_dir=args.resume_dir,
+        windows=args.windows,
+        window_dir=args.window_dir,
+    )
 
 
 def _resolve(args: argparse.Namespace) -> tuple[NamedScenario, Any, dict[str, tuple]]:
@@ -195,6 +256,10 @@ def _resolve(args: argparse.Namespace) -> tuple[NamedScenario, Any, dict[str, tu
         base = replace(base, duration=args.duration)
     if args.seed is not None:
         base = replace(base, seed=args.seed)
+    if args.checkpoint_every is not None:
+        base = replace(base, checkpoint_every=args.checkpoint_every)
+    if args.telemetry:
+        base = replace(base, telemetry=replace(base.telemetry, enabled=True))
     for assignment in args.overrides:
         path, value = _parse_assignment(assignment)
         base = apply_override(base, path, value)
@@ -212,6 +277,7 @@ def _print_run(entry: NamedScenario, result: SweepResult, as_json: bool) -> None
             "figure": entry.figure,
             "parallel": result.parallel,
             "workers": result.workers,
+            "windows": result.windows,
             "wall_clock_seconds": result.wall_clock_seconds,
             "events_processed": result.events_processed,
             "summaries": result.summaries(),
@@ -222,6 +288,8 @@ def _print_run(entry: NamedScenario, result: SweepResult, as_json: bool) -> None
     print(f"scenario {entry.name}{figure}: {entry.description}")
     print(result.table(columns=entry.columns))
     mode = f"{result.workers} processes" if result.parallel else "serial"
+    if result.windows is not None:
+        mode += f", {result.windows} windows"
     events = result.events_processed
     rate = f", {events / result.wall_clock_seconds:,.0f} events/s" if events else ""
     print(
@@ -245,10 +313,12 @@ def _run_resume(args: argparse.Namespace) -> int:
     try:
         state, result = resume_experiment(
             args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_path=checkpoint_path,
+            options=ExecutionOptions(
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=checkpoint_path,
+            ),
         )
-    except SnapshotError as exc:
+    except (SnapshotError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     spec_dict = state.meta.get("spec") if isinstance(state.meta, dict) else None
@@ -308,16 +378,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
 
         entry, base, grid = _resolve(args)
-    except SpecFileError as exc:
+        options = options_from_args(args)
+        result = sweep(base, grid or None, options=options)
+    except (SpecFileError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = sweep(
-        base,
-        grid or None,
-        parallel=not args.serial,
-        max_workers=args.workers,
-        resume_dir=args.resume_dir,
-    )
     _print_run(entry, result, args.json)
     return 0
 

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from repro.common.errors import SnapshotError
+from repro.common.errors import ConfigurationError, SnapshotError
+from repro.experiments.options import UNSET, ExecutionOptions, merge_deprecated_kwargs
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenario import (
     Grid,
@@ -142,8 +143,10 @@ DEFAULT_CHECKPOINT_DIR = "checkpoints"
 def run_scenario(
     spec: ScenarioSpec,
     overrides: Mapping[str, Any] | None = None,
-    checkpoint_path: str | Path | None = None,
-    resume_from: "SimulationState | str | Path | None" = None,
+    checkpoint_path: str | Path | None = UNSET,
+    resume_from: "SimulationState | str | Path | None" = UNSET,
+    *,
+    options: ExecutionOptions | None = None,
 ) -> ScenarioResult:
     """Run one scenario point and wrap the outcome in a :class:`ScenarioResult`.
 
@@ -154,12 +157,30 @@ def run_scenario(
 
     When the spec opts into checkpointing (``spec.checkpoint_every``), a
     ``repro-ckpt-v1`` file is written every that many virtual seconds to
-    ``checkpoint_path`` (default: :data:`DEFAULT_CHECKPOINT_DIR` under a
-    per-point name from :func:`checkpoint_filename`).  ``resume_from``
-    continues a previous checkpoint instead of building a fresh run; the
-    checkpoint must belong to this exact scenario (fingerprint-checked).
+    ``options.checkpoint_path`` (default: :data:`DEFAULT_CHECKPOINT_DIR`
+    under a per-point name from :func:`checkpoint_filename`).
+    ``options.resume_from`` continues a previous checkpoint instead of
+    building a fresh run; the checkpoint must belong to this exact scenario
+    (fingerprint-checked).  The loose ``checkpoint_path`` / ``resume_from``
+    keywords are deprecated shims for those fields.  Windowed execution
+    (``options.windows``) is a sweep-level strategy — use
+    :func:`sweep` for it, not this single-point entry.
     """
     started = time.perf_counter()
+    opts = merge_deprecated_kwargs(
+        options,
+        "run_scenario",
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from,
+    )
+    if opts.windows is not None:
+        raise ConfigurationError(
+            "run_scenario executes one point monolithically; windowed "
+            "execution is a sweep-level strategy (sweep(options="
+            "ExecutionOptions(windows=...)))"
+        )
+    checkpoint_path = opts.checkpoint_path
+    resume_from = opts.resume_from
     if spec.kind == "vid-cost":
         if resume_from is not None:
             raise SnapshotError(
@@ -203,12 +224,14 @@ def run_scenario(
         seed=spec.seed,
         warmup=spec.effective_warmup(),
         adversary=spec.adversary,
-        recorder=recorder,
         max_epochs=spec.max_epochs,
-        checkpoint_every=spec.checkpoint_every,
-        checkpoint_path=checkpoint_path,
-        checkpoint_meta={"spec": spec.to_dict(), "overrides": dict(overrides or {})},
-        resume_from=state,
+        options=ExecutionOptions(
+            recorder=recorder,
+            checkpoint_every=spec.checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            checkpoint_meta={"spec": spec.to_dict(), "overrides": dict(overrides or {})},
+            resume_from=state,
+        ),
     )
     telemetry_path: str | None = None
     if recorder is not None and spec.telemetry.enabled:
@@ -331,6 +354,9 @@ class SweepResult:
     #: Point indices whose results were loaded from a resume journal instead
     #: of re-executed (empty when the sweep ran without ``resume_dir``).
     resumed_points: list[int] = field(default_factory=list)
+    #: Window count when the sweep ran through the windowed engine
+    #: (:mod:`repro.experiments.windowed`); ``None`` for monolithic points.
+    windows: int | None = None
 
     def summaries(self) -> list[dict[str, Any]]:
         return [point.summary() for point in self.points]
@@ -392,17 +418,28 @@ def default_workers(num_points: int) -> int:
 
 def run_points(
     points: list[tuple[dict[str, Any], ScenarioSpec]],
-    parallel: bool = True,
-    max_workers: int | None = None,
+    parallel: bool = UNSET,
+    max_workers: int | None = UNSET,
+    *,
+    options: ExecutionOptions | None = None,
 ) -> tuple[list[ScenarioResult], int]:
     """Run expanded grid points, optionally across processes.
 
     Returns the results in point order plus the worker count used.  Each
     point is a pure function of its spec (all randomness is seeded from it),
     so the parallel path produces summaries identical to the serial one.
+    ``options`` supplies ``parallel`` / ``workers``; the loose keywords of
+    those names (``max_workers`` for ``workers``) are deprecated shims.
     """
-    workers = max_workers if max_workers is not None else default_workers(len(points))
-    if not parallel or workers <= 1 or len(points) <= 1:
+    opts = merge_deprecated_kwargs(
+        options,
+        "run_points",
+        aliases={"max_workers": "workers"},
+        parallel=parallel,
+        max_workers=max_workers,
+    )
+    workers = opts.workers if opts.workers is not None else default_workers(len(points))
+    if not opts.parallel or workers <= 1 or len(points) <= 1:
         return [_run_point(point) for point in points], 1
     with ProcessPoolExecutor(max_workers=workers) as executor:
         results = list(executor.map(_run_point, points))
@@ -412,9 +449,11 @@ def run_points(
 def sweep(
     base: ScenarioSpec,
     grid: Grid | None = None,
-    parallel: bool = True,
-    max_workers: int | None = None,
-    resume_dir: str | Path | None = None,
+    parallel: bool = UNSET,
+    max_workers: int | None = UNSET,
+    resume_dir: str | Path | None = UNSET,
+    *,
+    options: ExecutionOptions | None = None,
 ) -> SweepResult:
     """Expand ``base`` over ``grid`` and run every point.
 
@@ -423,29 +462,53 @@ def sweep(
         grid: ``dotted.path -> values`` axes (see
             :data:`repro.experiments.scenario.Grid`); ``None`` runs just the
             base spec.
-        parallel: run points across worker processes (the default).  Points
-            never share state, so this is safe for any scenario; flip to
-            ``False`` for easier debugging or when profiling a single run.
-        max_workers: process count (default: one per point, capped at the
-            machine's CPU count).
-        resume_dir: crash-resume journal directory.  Each completed point
-            writes its result there atomically (``point-NNNN.ckpt``,
-            ``repro-ckpt-v1`` format); rerunning an interrupted sweep with
-            the same ``resume_dir`` re-executes only the unfinished points
-            and produces a result identical to an uninterrupted run.  Stale
-            journals (different base spec, grid, or point order) are
-            detected by fingerprint and ignored.
+        options: the execution strategy (:class:`ExecutionOptions`):
+
+            * ``parallel`` — run points across worker processes (the
+              default).  Points never share state, so this is safe for any
+              scenario; flip to ``False`` for easier debugging or when
+              profiling a single run.
+            * ``workers`` — process count (default: one per point, capped
+              at the machine's CPU count).
+            * ``resume_dir`` — crash-resume journal directory.  Each
+              completed point writes its result there atomically
+              (``point-NNNN.ckpt``, ``repro-ckpt-v1`` format); rerunning an
+              interrupted sweep with the same ``resume_dir`` re-executes
+              only the unfinished points and produces a result identical to
+              an uninterrupted run.  Stale journals (different base spec,
+              grid, or point order) are detected by fingerprint and ignored.
+            * ``windows`` — split every point's virtual-time horizon into
+              this many checkpoint-hand-off windows and run them through
+              :mod:`repro.experiments.windowed` (pipelined across points,
+              with warmup-prefix sharing); summaries are byte-identical to
+              monolithic points.
+        parallel / max_workers / resume_dir: deprecated shims for the
+            options fields of (almost) the same names (``max_workers`` maps
+            to ``workers``).
     """
+    opts = merge_deprecated_kwargs(
+        options,
+        "sweep",
+        aliases={"max_workers": "workers"},
+        parallel=parallel,
+        max_workers=max_workers,
+        resume_dir=resume_dir,
+    )
+    if opts.windows is not None:
+        # Imported here: the windowed engine builds on this module.
+        from repro.experiments.windowed import run_windowed_sweep
+
+        return run_windowed_sweep(base, grid, opts)
     started = time.perf_counter()
     # Materialise axis values first: iterator-valued axes must be recorded
     # with the same values expand_grid consumes.
     grid_values = {key: list(values) for key, values in (grid or {}).items()}
     points = expand_grid(base, grid_values)
     resumed: list[int] = []
-    if resume_dir is None:
-        results, workers = run_points(points, parallel=parallel, max_workers=max_workers)
+    if opts.resume_dir is None:
+        results, workers = run_points(points, options=opts)
     else:
-        journal = Path(resume_dir)
+        journal = Path(opts.resume_dir)
         journal.mkdir(parents=True, exist_ok=True)
         fingerprints = [
             _point_fingerprint(base, grid_values, index, overrides)
@@ -462,9 +525,9 @@ def sweep(
             if index not in loaded
         ]
         workers = (
-            max_workers if max_workers is not None else default_workers(max(1, len(todo)))
+            opts.workers if opts.workers is not None else default_workers(max(1, len(todo)))
         )
-        if not parallel or workers <= 1 or len(todo) <= 1:
+        if not opts.parallel or workers <= 1 or len(todo) <= 1:
             workers = 1
             fresh = [_run_point_persist(point) for point in todo]
         else:
@@ -480,7 +543,7 @@ def sweep(
         base=base,
         grid=grid_values,
         points=results,
-        parallel=parallel and workers > 1,
+        parallel=opts.parallel and workers > 1,
         workers=workers,
         wall_clock_seconds=time.perf_counter() - started,
         resumed_points=resumed,

@@ -29,6 +29,7 @@ from typing import Any, Mapping
 
 from repro.experiments.catalog import get_scenario, list_scenarios
 from repro.experiments.engine import run_points
+from repro.experiments.options import ExecutionOptions
 from repro.experiments.scenario import apply_overrides, expand_grid
 
 #: Default virtual duration of a golden run.
@@ -150,7 +151,7 @@ def golden_points(name: str):
 def golden_payload(name: str) -> dict[str, Any]:
     """Run one scenario's pinned points (serially) and collect the snapshot."""
     config, base, points = golden_points(name)
-    results, _ = run_points(points, parallel=False)
+    results, _ = run_points(points, options=ExecutionOptions(parallel=False))
     return {
         "scenario": name,
         "golden": {

@@ -1,0 +1,157 @@
+"""The unified execution-options surface for the experiment engine.
+
+Execution knobs grew organically across PRs: ``recorder`` (PR 5),
+``parallel`` / ``max_workers`` (PR 2), ``checkpoint_every`` /
+``checkpoint_path`` / ``resume_from`` / ``resume_dir`` (PR 7), and now
+``windows`` / ``window_dir`` for the windowed parallel engine.  Each knob
+described *how* to execute, not *what* to simulate — yet they were threaded
+as loose keyword arguments through four different call signatures.
+
+:class:`ExecutionOptions` consolidates all of them into one frozen,
+validated dataclass accepted by :func:`~repro.experiments.runner.run_experiment`,
+:func:`~repro.experiments.engine.run_scenario`,
+:func:`~repro.experiments.engine.run_points` and
+:func:`~repro.experiments.engine.sweep` (each consumer reads the fields that
+apply to it and documents which those are).  The *what* stays in
+:class:`~repro.experiments.scenario.ScenarioSpec`; the *how* lives here, so
+a spec remains a complete deterministic recipe whose summary is byte-identical
+under every execution strategy.
+
+The old keyword arguments survive as deprecated shims: passing one emits a
+:class:`DeprecationWarning` and is folded into an equivalent
+:class:`ExecutionOptions`, so downstream callers keep working (and keep
+their summaries byte-identical) while they migrate.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["ExecutionOptions", "UNSET", "merge_deprecated_kwargs"]
+
+#: Sentinel distinguishing "keyword not passed" from an explicit ``None``
+#: in the deprecated-shim signatures.
+UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How to execute a run or sweep (never *what* to simulate).
+
+    Every field is execution strategy only: any combination produces
+    summaries byte-identical to the defaults — that invariant is pinned by
+    the golden suite and the windowed property tests.
+
+    Attributes:
+        recorder: a :class:`~repro.trace.recorder.TraceRecorder` to attach to
+            a single experiment run (:func:`run_experiment` only; the
+            scenario engine builds recorders from ``spec.telemetry`` itself).
+        checkpoint_every: write a ``repro-ckpt-v1`` checkpoint every this
+            many virtual seconds (:func:`run_experiment` /
+            :func:`resume_experiment`; the scenario engine reads the spec's
+            ``checkpoint_every`` instead).
+        checkpoint_path: where the (single, overwritten) periodic checkpoint
+            lives; required when ``checkpoint_every`` is set on
+            :func:`run_experiment`, defaulted per point by the engine.
+        checkpoint_meta: opaque metadata stored inside checkpoints (the
+            engine passes the scenario spec here).
+        resume_from: continue from a checkpoint — a file path or a loaded
+            :class:`~repro.sim.snapshot.SimulationState` — instead of
+            building a fresh simulation (:func:`run_experiment` /
+            :func:`run_scenario`).
+        parallel: run sweep points across worker processes
+            (:func:`run_points` / :func:`sweep`; the default).
+        workers: worker-process count (``None`` = one per point, capped at
+            the machine's CPU count).
+        resume_dir: sweep crash-resume journal directory (:func:`sweep`).
+        windows: split each point's virtual-time horizon into this many
+            windows executed via checkpoint hand-off (:func:`sweep`; see
+            :mod:`repro.experiments.windowed`).  ``None`` = monolithic.
+        window_dir: where windowed hand-off checkpoints and telemetry
+            segments live (``None`` = a temporary directory, removed after
+            the sweep).
+    """
+
+    recorder: Any | None = None
+    checkpoint_every: float | None = None
+    checkpoint_path: str | Path | None = None
+    checkpoint_meta: dict | None = None
+    resume_from: Any | None = None
+    parallel: bool = True
+    workers: int | None = None
+    resume_dir: str | Path | None = None
+    windows: int | None = None
+    window_dir: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ConfigurationError("checkpoint_every must be None or positive")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError("workers must be None or >= 1")
+        if self.windows is not None and self.windows < 1:
+            raise ConfigurationError("windows must be None or >= 1")
+        if self.windows is not None and self.resume_dir is not None:
+            raise ConfigurationError(
+                "windows and resume_dir cannot be combined: the windowed "
+                "engine's hand-off checkpoints are its own journal"
+            )
+        if self.windows is not None and self.resume_from is not None:
+            raise ConfigurationError("windows cannot be combined with resume_from")
+
+    def with_updates(self, **changes: Any) -> "ExecutionOptions":
+        """A copy with ``changes`` applied (a validated ``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    @property
+    def effective_workers_floor(self) -> int:
+        """The minimum worker count this options object guarantees (1 if serial)."""
+        if not self.parallel:
+            return 1
+        return self.workers if self.workers is not None else 1
+
+
+_FIELD_NAMES = frozenset(f.name for f in fields(ExecutionOptions))
+
+
+def merge_deprecated_kwargs(
+    options: ExecutionOptions | None,
+    caller: str,
+    *,
+    stacklevel: int = 3,
+    aliases: dict[str, str] | None = None,
+    **legacy: Any,
+) -> ExecutionOptions:
+    """Fold deprecated execution keywords into an :class:`ExecutionOptions`.
+
+    ``legacy`` maps the caller's deprecated keyword names to the values they
+    carried (:data:`UNSET` marks "not passed"); ``aliases`` translates any
+    keyword whose name differs from its options field (``max_workers`` →
+    ``workers``).  Passing any deprecated keyword emits one
+    :class:`DeprecationWarning` naming the caller and the keywords as the
+    caller spelled them; combining them with an explicit ``options`` object
+    is a ``TypeError`` — there must be exactly one source of truth.
+    """
+    passed = {name: value for name, value in legacy.items() if value is not UNSET}
+    if not passed:
+        return options if options is not None else ExecutionOptions()
+    translated = {(aliases or {}).get(name, name): value for name, value in passed.items()}
+    unknown = sorted(set(translated) - _FIELD_NAMES)
+    if unknown:
+        raise TypeError(f"{caller}: unknown execution option(s) {unknown}")
+    if options is not None:
+        raise TypeError(
+            f"{caller}: pass execution options either through `options` or the "
+            f"deprecated keyword(s) {sorted(passed)}, not both"
+        )
+    warnings.warn(
+        f"{caller}: the keyword(s) {sorted(passed)} are deprecated; pass "
+        f"options=ExecutionOptions({', '.join(sorted(translated))}=...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return ExecutionOptions(**translated)

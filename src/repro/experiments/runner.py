@@ -25,6 +25,7 @@ from repro.adversary.registry import AdversarySpec, get_adversary
 from repro.ba.coin import CommonCoin
 from repro.common.errors import SnapshotError
 from repro.common.params import ProtocolParams
+from repro.experiments.options import UNSET, ExecutionOptions, merge_deprecated_kwargs
 from repro.core.config import NodeConfig
 from repro.core.node import DLCoupledNode, DispersedLedgerNode
 from repro.core.node_base import BFTNodeBase
@@ -516,23 +517,32 @@ def summarise_experiment(state: SimulationState) -> ExperimentResult:
 
 def resume_experiment(
     source: SimulationState | str | Path,
-    checkpoint_every: float | None = None,
-    checkpoint_path: str | Path | None = None,
+    checkpoint_every: float | None = UNSET,
+    checkpoint_path: str | Path | None = UNSET,
+    *,
+    options: ExecutionOptions | None = None,
 ) -> tuple[SimulationState, ExperimentResult]:
     """Continue a checkpointed experiment to completion.
 
     ``source`` is a checkpoint file path (or an already-loaded
     :class:`SimulationState`).  The restored state runs to its recorded
     ``duration`` and is summarised exactly as an uninterrupted run would be.
-    Pass ``checkpoint_every``/``checkpoint_path`` to keep checkpointing while
-    the resumed run executes.  A restored state is consumed by running it;
-    load the file again for another continuation.
+    Set ``options.checkpoint_every`` / ``options.checkpoint_path`` to keep
+    checkpointing while the resumed run executes (the loose keywords of the
+    same names are deprecated shims).  A restored state is consumed by
+    running it; load the file again for another continuation.
     """
+    opts = merge_deprecated_kwargs(
+        options,
+        "resume_experiment",
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
     if isinstance(source, SimulationState):
         state = source
     else:
         state = load_checkpoint(source)
-    return state, _finish_experiment(state, checkpoint_every, checkpoint_path)
+    return state, _finish_experiment(state, opts.checkpoint_every, opts.checkpoint_path)
 
 
 def run_experiment(
@@ -545,14 +555,21 @@ def run_experiment(
     seed: int = 0,
     warmup: float = 0.0,
     adversary: AdversarySpec | None = None,
-    recorder: "TraceRecorder | None" = None,
+    recorder: "TraceRecorder | None" = UNSET,
     max_epochs: int | None = None,
-    checkpoint_every: float | None = None,
-    checkpoint_path: str | Path | None = None,
-    checkpoint_meta: dict | None = None,
-    resume_from: SimulationState | str | Path | None = None,
+    checkpoint_every: float | None = UNSET,
+    checkpoint_path: str | Path | None = UNSET,
+    checkpoint_meta: dict | None = UNSET,
+    resume_from: SimulationState | str | Path | None = UNSET,
+    *,
+    options: ExecutionOptions | None = None,
 ) -> ExperimentResult:
     """Run one protocol on one simulated network and summarise the outcome.
+
+    Execution strategy (recorder attachment, periodic checkpointing, resume)
+    comes in through ``options``; the loose ``recorder`` /
+    ``checkpoint_every`` / ``checkpoint_path`` / ``checkpoint_meta`` /
+    ``resume_from`` keywords are deprecated shims for it.
 
     Args:
         protocol: a registered protocol name (``"dl"``, ``"dl-coupled"``,
@@ -601,7 +618,16 @@ def run_experiment(
             scenario: the stored fingerprint is checked and a
             :class:`SnapshotError` is raised for a foreign-scenario restore.
     """
-    if resume_from is not None:
+    opts = merge_deprecated_kwargs(
+        options,
+        "run_experiment",
+        recorder=recorder,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        checkpoint_meta=checkpoint_meta,
+        resume_from=resume_from,
+    )
+    if opts.resume_from is not None:
         workload = workload or WorkloadSpec()
         node_config = node_config or NodeConfig()
         params = params or ProtocolParams.for_n(network_config.num_nodes)
@@ -617,10 +643,10 @@ def run_experiment(
             adversary,
             max_epochs,
         )
-        if isinstance(resume_from, SimulationState):
-            state = resume_from
+        if isinstance(opts.resume_from, SimulationState):
+            state = opts.resume_from
         else:
-            state = load_checkpoint(resume_from, expect_fingerprint=expected)
+            state = load_checkpoint(opts.resume_from, expect_fingerprint=expected)
         if state.fingerprint != expected:
             raise SnapshotError(
                 f"checkpoint fingerprint {state.fingerprint!r} does not match "
@@ -638,11 +664,11 @@ def run_experiment(
             seed=seed,
             warmup=warmup,
             adversary=adversary,
-            recorder=recorder,
+            recorder=opts.recorder,
             max_epochs=max_epochs,
-            meta=checkpoint_meta,
+            meta=opts.checkpoint_meta,
         )
-    return _finish_experiment(state, checkpoint_every, checkpoint_path)
+    return _finish_experiment(state, opts.checkpoint_every, opts.checkpoint_path)
 
 
 def _adversary_metrics(

@@ -1,0 +1,86 @@
+"""The benchmark trajectory aggregator: normalisation, flattening, table."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_aggregate",
+    Path(__file__).parent.parent / "benchmarks" / "aggregate.py",
+)
+aggregate_mod = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(aggregate_mod)
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    """A miniature benchmarks directory covering both on-disk shapes."""
+    (tmp_path / "BENCH_alpha.json").write_text(
+        json.dumps(
+            [
+                {"scenario": "a", "events_per_second": 1000.0, "seconds": 2.0},
+                {"scenario": "a", "events_per_second": 1250.0, "seconds": 1.6},
+            ]
+        )
+    )
+    (tmp_path / "BENCH_beta.json").write_text(
+        json.dumps(
+            {
+                "workload": {"n": 16},
+                "operations": {"encode": {"speedup": 6.3, "ok": True}},
+            }
+        )
+    )
+    (tmp_path / "not_a_bench.json").write_text("[]")
+    return tmp_path
+
+
+class TestAggregate:
+    def test_merges_lists_and_single_dicts_into_rows(self, bench_dir):
+        rows = aggregate_mod.aggregate(bench_dir)
+        assert [(r["report"], r["entry"]) for r in rows] == [
+            ("alpha", 0),
+            ("alpha", 1),
+            ("beta", 0),
+        ]
+
+    def test_metrics_are_flattened_with_dotted_paths(self, bench_dir):
+        rows = aggregate_mod.aggregate(bench_dir)
+        beta = rows[-1]["metrics"]
+        assert beta == {"workload.n": 16.0, "operations.encode.speedup": 6.3}
+
+    def test_headline_prefers_speedup_over_raw_seconds(self):
+        key, value = aggregate_mod.headline_metric(
+            {"seconds": 9.0, "run.speedup": 1.8, "events_per_second": 100.0}
+        )
+        assert key == "run.speedup"
+        assert value == 1.8
+
+    def test_rejects_scalar_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("42")
+        with pytest.raises(ValueError, match="neither"):
+            aggregate_mod.load_entries(path)
+
+    def test_main_renders_table_and_writes_json(self, bench_dir, capsys):
+        out = bench_dir / "merged.json"
+        code = aggregate_mod.main(["--dir", str(bench_dir), "--json", str(out)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "alpha" in captured and "beta" in captured
+        assert json.loads(out.read_text()) == aggregate_mod.aggregate(bench_dir)
+
+    def test_main_on_empty_directory_fails_cleanly(self, tmp_path, capsys):
+        assert aggregate_mod.main(["--dir", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_real_bench_files_all_aggregate(self):
+        rows = aggregate_mod.aggregate(aggregate_mod.BENCH_DIR)
+        reports = {row["report"] for row in rows}
+        assert "windowed" in reports
+        assert len(reports) >= 7
+        assert all(row["metrics"] for row in rows)

@@ -1,0 +1,157 @@
+"""The unified :class:`ExecutionOptions` surface and its deprecated-kwarg shims.
+
+Covers the three contracts of :mod:`repro.experiments.options`:
+
+* construction-time validation (frozen dataclass, invalid combinations
+  raise :class:`ConfigurationError` immediately, not mid-sweep);
+* the deprecated keyword shims on ``run_experiment`` / ``run_scenario`` /
+  ``run_points`` / ``sweep`` / ``resume_experiment`` — each emits exactly
+  one :class:`DeprecationWarning` naming the caller and the keywords as
+  spelled, folds them into an equivalent options object, and refuses to
+  mix them with an explicit ``options=``;
+* behavioural equivalence: a run driven by a deprecated keyword is
+  byte-identical to the same run driven by the options object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import NodeConfig
+from repro.experiments.engine import run_points, run_scenario, sweep
+from repro.experiments.options import (
+    UNSET,
+    ExecutionOptions,
+    merge_deprecated_kwargs,
+)
+from repro.experiments.runner import WorkloadSpec
+from repro.experiments.scenario import (
+    BandwidthSpec,
+    ScenarioSpec,
+    TopologySpec,
+    expand_grid,
+)
+
+MB = 1_000_000.0
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="tiny",
+        topology=TopologySpec(kind="uniform", num_nodes=4, delay=0.05),
+        bandwidth=BandwidthSpec(kind="constant", rate=2 * MB),
+        workload=WorkloadSpec(kind="saturating", target_pending_bytes=500_000),
+        node=NodeConfig(max_block_size=100_000),
+        duration=4.0,
+        warmup_fraction=0.0,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestValidation:
+    def test_defaults_are_all_none_except_parallel(self):
+        options = ExecutionOptions()
+        for f in dataclasses.fields(ExecutionOptions):
+            if f.name == "parallel":
+                assert options.parallel is True
+            else:
+                assert getattr(options, f.name) is None, f.name
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExecutionOptions().parallel = False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"checkpoint_every": 0.0},
+            {"checkpoint_every": -1.0},
+            {"workers": 0},
+            {"windows": 0},
+            {"windows": 2, "resume_dir": "/tmp/journal"},
+            {"windows": 2, "resume_from": "/tmp/x.ckpt"},
+        ],
+    )
+    def test_invalid_combinations_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExecutionOptions(**kwargs)
+
+    def test_with_updates_revalidates(self):
+        options = ExecutionOptions(windows=3)
+        assert options.with_updates(windows=None).windows is None
+        with pytest.raises(ConfigurationError):
+            options.with_updates(resume_dir="/tmp/journal")
+
+
+class TestMerge:
+    def test_no_legacy_returns_options_or_defaults(self):
+        options = ExecutionOptions(workers=2)
+        assert merge_deprecated_kwargs(options, "f") is options
+        assert merge_deprecated_kwargs(None, "f") == ExecutionOptions()
+
+    def test_legacy_kwarg_warns_and_translates(self):
+        with pytest.warns(DeprecationWarning, match=r"run_points.*max_workers"):
+            merged = merge_deprecated_kwargs(
+                None,
+                "run_points",
+                aliases={"max_workers": "workers"},
+                parallel=UNSET,
+                max_workers=3,
+            )
+        assert merged == ExecutionOptions(workers=3)
+
+    def test_options_plus_legacy_is_type_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            merge_deprecated_kwargs(ExecutionOptions(), "sweep", parallel=False)
+
+    def test_unknown_legacy_name_is_type_error(self):
+        with pytest.raises(TypeError, match="unknown execution option"):
+            merge_deprecated_kwargs(None, "sweep", turbo=True)
+
+
+class TestDeprecatedShims:
+    def test_sweep_legacy_parallel_warns_and_matches_options_form(self):
+        base = tiny_spec()
+        grid = {"seed": (0, 1)}
+        with pytest.warns(DeprecationWarning, match=r"sweep.*parallel"):
+            legacy = sweep(base, grid, parallel=False)
+        clean = sweep(base, grid, options=ExecutionOptions(parallel=False))
+        assert legacy.summaries() == clean.summaries()
+
+    def test_run_points_legacy_max_workers_warns(self):
+        points = expand_grid(tiny_spec(), {"seed": (0,)})
+        with pytest.warns(DeprecationWarning, match=r"run_points.*max_workers"):
+            run_points(points, parallel=False, max_workers=1)
+
+    def test_run_scenario_legacy_checkpoint_path_warns(self, tmp_path):
+        path = tmp_path / "point.ckpt"
+        spec = tiny_spec(checkpoint_every=1.0)
+        with pytest.warns(DeprecationWarning, match=r"run_scenario.*checkpoint_path"):
+            legacy = run_scenario(spec, checkpoint_path=path)
+        assert path.exists()
+        clean = run_scenario(spec, options=ExecutionOptions(checkpoint_path=path))
+        assert legacy.summary() == clean.summary()
+
+    def test_options_form_is_warning_free(self):
+        base = tiny_spec()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sweep(base, {"seed": (0,)}, options=ExecutionOptions(parallel=False))
+
+    def test_sweep_rejects_options_plus_legacy(self):
+        with pytest.raises(TypeError, match="not both"):
+            sweep(
+                tiny_spec(),
+                {"seed": (0,)},
+                parallel=False,
+                options=ExecutionOptions(),
+            )
+
+    def test_run_scenario_rejects_windows(self):
+        with pytest.raises(ConfigurationError, match="sweep-level"):
+            run_scenario(tiny_spec(), options=ExecutionOptions(windows=2))

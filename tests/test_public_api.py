@@ -42,6 +42,7 @@ INTENTIONAL_SURFACE = {
     "repro.crypto": ["MerkleTree", "verify_proof"],
     "repro.erasure": ["GF256", "ReedSolomonCode"],
     "repro.experiments": [
+        "ExecutionOptions",
         "ScenarioSpec",
         "get_scenario",
         "register_protocol",

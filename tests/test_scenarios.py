@@ -10,6 +10,7 @@ from repro.core.config import NodeConfig
 from repro.experiments.catalog import SCENARIOS, get_scenario, list_scenarios
 from repro.experiments.cli import main as cli_main
 from repro.experiments.engine import run_scenario, sweep
+from repro.experiments.options import ExecutionOptions
 from repro.experiments.runner import WorkloadSpec, run_experiment
 from repro.experiments.scenario import (
     BandwidthSpec,
@@ -357,15 +358,15 @@ class TestSweep:
     def test_parallel_and_serial_summaries_identical(self):
         base = tiny_spec(duration=6.0)
         grid = {"protocol": ("dl", "hb"), "seed": (0, 1)}
-        serial = sweep(base, grid, parallel=False)
-        parallel = sweep(base, grid, parallel=True, max_workers=2)
+        serial = sweep(base, grid, options=ExecutionOptions(parallel=False))
+        parallel = sweep(base, grid, options=ExecutionOptions(parallel=True, workers=2))
         assert len(serial.points) == 4
         assert parallel.workers == 2
         assert serial.summaries() == parallel.summaries()
 
     def test_sweep_orders_points_deterministically(self):
         base = tiny_spec(duration=6.0)
-        result = sweep(base, {"seed": (2, 0, 1)}, parallel=False)
+        result = sweep(base, {"seed": (2, 0, 1)}, options=ExecutionOptions(parallel=False))
         assert [point.spec.seed for point in result.points] == [2, 0, 1]
         assert result.events_processed == sum(
             point.result.events_processed for point in result.points
@@ -373,7 +374,7 @@ class TestSweep:
 
     def test_table_renders_every_point(self):
         base = tiny_spec(duration=6.0)
-        result = sweep(base, {"seed": (0, 1)}, parallel=False)
+        result = sweep(base, {"seed": (0, 1)}, options=ExecutionOptions(parallel=False))
         table = result.table(columns=("label", "mean_throughput"))
         assert table.count("\n") == 3  # header + rule + 2 rows
 

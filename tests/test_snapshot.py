@@ -334,10 +334,13 @@ def test_checkpoint_every_round_trips_through_dict():
 
 def test_vid_cost_scenario_refuses_resume(tmp_path):
     from repro.experiments.engine import run_scenario
+    from repro.experiments.options import ExecutionOptions
 
     spec = ScenarioSpec(kind="vid-cost", name="vid")
     with pytest.raises(SnapshotError, match="analytic"):
-        run_scenario(spec, resume_from=tmp_path / "whatever.ckpt")
+        run_scenario(
+            spec, options=ExecutionOptions(resume_from=tmp_path / "whatever.ckpt")
+        )
 
 
 @pytest.mark.parametrize(

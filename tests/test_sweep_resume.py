@@ -1,4 +1,4 @@
-"""Crash-injection for ``sweep(resume_dir=...)``: SIGKILL, resume, bit-identical.
+"""Crash-injection for the sweep resume journal: SIGKILL, resume, bit-identical.
 
 A child process runs a three-point serial sweep with a resume journal; the
 parent SIGKILLs it as soon as the first point's result file lands (so the
@@ -21,6 +21,7 @@ from pathlib import Path
 import repro
 from repro.experiments.catalog import get_scenario
 from repro.experiments.engine import sweep
+from repro.experiments.options import ExecutionOptions
 
 SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
 
@@ -33,9 +34,10 @@ import sys
 from dataclasses import replace
 from repro.experiments.catalog import get_scenario
 from repro.experiments.engine import sweep
+from repro.experiments.options import ExecutionOptions
 
 base = replace(get_scenario({SCENARIO!r}).base, duration={DURATION!r})
-sweep(base, {GRID!r}, parallel=False, resume_dir=sys.argv[1])
+sweep(base, {GRID!r}, options=ExecutionOptions(parallel=False, resume_dir=sys.argv[1]))
 """
 
 
@@ -69,7 +71,7 @@ def test_sigkilled_sweep_resumes_only_unfinished_points(tmp_path):
     before = {path.name: path.read_bytes() for path in finished}
 
     base = _base_spec()
-    resumed = sweep(base, GRID, parallel=False, resume_dir=str(journal))
+    resumed = sweep(base, GRID, options=ExecutionOptions(parallel=False, resume_dir=str(journal)))
     assert resumed.resumed_points == finished_indices
 
     # The journalled results were reused verbatim; the missing ones now exist.
@@ -79,7 +81,7 @@ def test_sigkilled_sweep_resumes_only_unfinished_points(tmp_path):
         f"point-{i:04d}.ckpt" for i in range(3)
     ]
 
-    clean = sweep(base, GRID, parallel=False)
+    clean = sweep(base, GRID, options=ExecutionOptions(parallel=False))
     assert json.dumps(resumed.summaries(), sort_keys=True) == json.dumps(
         clean.summaries(), sort_keys=True
     )
@@ -92,17 +94,17 @@ def test_stale_journal_from_a_different_sweep_is_ignored(tmp_path):
     """Changing the base spec invalidates every journalled point (fingerprints)."""
     journal = tmp_path / "journal"
     base = _base_spec()
-    first = sweep(base, GRID, parallel=False, resume_dir=str(journal))
+    first = sweep(base, GRID, options=ExecutionOptions(parallel=False, resume_dir=str(journal)))
     assert first.resumed_points == []
 
     # Same journal, different sweep: nothing may be reused.
     other = replace(base, duration=DURATION + 0.5)
-    resumed = sweep(other, GRID, parallel=False, resume_dir=str(journal))
+    resumed = sweep(other, GRID, options=ExecutionOptions(parallel=False, resume_dir=str(journal)))
     assert resumed.resumed_points == []
 
     # Rerunning the original sweep *after* the journal was overwritten by the
     # other sweep re-executes everything again rather than mixing results.
-    again = sweep(base, GRID, parallel=False, resume_dir=str(journal))
+    again = sweep(base, GRID, options=ExecutionOptions(parallel=False, resume_dir=str(journal)))
     assert again.resumed_points == []
     assert json.dumps(again.summaries(), sort_keys=True) == json.dumps(
         first.summaries(), sort_keys=True
