@@ -24,13 +24,18 @@ fast tier only, while CI's golden step (and a local
 from __future__ import annotations
 
 import json
+import tempfile
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Mapping
 
 from repro.experiments.catalog import get_scenario, list_scenarios
-from repro.experiments.engine import run_points
+from repro.experiments.engine import run_points, run_scenario
 from repro.experiments.options import ExecutionOptions
 from repro.experiments.scenario import apply_overrides, expand_grid
+from repro.trace.analysis import summarise_telemetry
+from repro.trace.diff import envelope_from_summary
+from repro.trace.recorder import TelemetrySpec, read_jsonl
 
 #: Default virtual duration of a golden run.
 GOLDEN_DURATION = 3.0
@@ -166,3 +171,82 @@ def golden_payload(name: str) -> dict[str, Any]:
 def canonical_json(payload: Any) -> str:
     """The byte-stable serialisation the golden files are stored in."""
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Telemetry envelopes
+#
+# A golden *summary* pins the run's end state bit-for-bit; a golden
+# *envelope* pins the run's telemetry — the per-node time-weighted mean/max
+# of every queue and utilisation series — within declared tolerances (see
+# :mod:`repro.trace.diff`).  Summaries catch behaviour changes; envelopes
+# catch the regressions summaries can't see, like a queue that now spikes
+# 10x mid-run but drains before the end.  Envelopes live under
+# ``tests/golden/envelopes/`` and regenerate through the same
+# ``pytest --update-golden`` flow; CI additionally re-records the scenario
+# and diffs it against the pinned file on every push.
+
+
+@dataclass(frozen=True)
+class EnvelopeConfig:
+    """How one catalog scenario is pinned for its telemetry envelope.
+
+    Attributes:
+        duration: virtual seconds recorded (short, like the golden runs).
+        interval: telemetry sampling interval in virtual seconds.
+        seed: master seed of the recorded run.
+        overrides: dotted-path overrides applied to the base spec.
+    """
+
+    duration: float = 6.0
+    interval: float = 0.5
+    seed: int = 0
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def run_fields(self) -> dict[str, Any]:
+        """The envelope's ``run`` block — what reproduces the recording."""
+        return {
+            "duration": self.duration,
+            "interval": self.interval,
+            "seed": self.seed,
+            "overrides": dict(self.overrides),
+        }
+
+
+#: The scenarios that pin a telemetry envelope.  Deliberately a subset of
+#: the golden catalog: an envelope only earns its keep where telemetry has
+#: structure worth guarding (measured-bandwidth replay, saturated queues).
+ENVELOPE_CONFIGS: dict[str, EnvelopeConfig] = {
+    "trace-replay-wan": EnvelopeConfig(duration=6.0, interval=0.5),
+    "straggler-hetero": EnvelopeConfig(duration=6.0, interval=0.5),
+}
+
+
+def envelope_names() -> list[str]:
+    """The scenarios with a pinned envelope, sorted."""
+    return sorted(ENVELOPE_CONFIGS)
+
+
+def record_envelope_rows(name: str) -> list[dict[str, Any]]:
+    """Run one envelope scenario's pinned recording; returns telemetry rows."""
+    entry = get_scenario(name)
+    config = ENVELOPE_CONFIGS[name]
+    base = apply_overrides(entry.base, dict(config.overrides))
+    with tempfile.TemporaryDirectory(prefix="repro-envelope-") as scratch:
+        spec = replace(
+            base,
+            duration=config.duration,
+            seed=config.seed,
+            telemetry=TelemetrySpec(
+                enabled=True, interval=config.interval, out_dir=scratch
+            ),
+        )
+        result = run_scenario(spec)
+        return read_jsonl(Path(result.telemetry_path))
+
+
+def envelope_payload(name: str) -> dict[str, Any]:
+    """Record one envelope scenario and reduce it to its pinnable envelope."""
+    config = ENVELOPE_CONFIGS[name]
+    summary = summarise_telemetry(record_envelope_rows(name))
+    return envelope_from_summary(summary, scenario=name, run=config.run_fields())

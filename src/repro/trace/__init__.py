@@ -18,14 +18,26 @@ Two halves, both new layers over the simulator:
   writing JSONL next to the summary.  Recording is opt-in per spec
   (:class:`TelemetrySpec`) and behaviour-neutral: summaries are
   bit-identical with it on or off.  :mod:`repro.trace.analysis` reduces a
-  recorded JSONL to time-weighted queue-depth and utilisation statistics.
+  recorded JSONL to time-weighted queue-depth and utilisation statistics;
+  :mod:`repro.trace.plot` renders it to heatmaps and progress curves;
+  :mod:`repro.trace.diff` compares recordings (and pinned golden
+  envelopes) with per-series tolerances; :mod:`repro.trace.importers`
+  converts third-party recordings (Mahimahi) into the trace format.
 
-CLI: ``python -m repro.experiments trace {inspect,convert,export,summarise}``
-(:mod:`repro.trace.cli`).
+CLI: ``python -m repro.experiments trace
+{inspect,convert,export,summarise,plot,diff,import}`` (:mod:`repro.trace.cli`).
 """
 
 from repro.common.errors import TraceError
 from repro.trace.analysis import summarise_node_samples, summarise_telemetry
+from repro.trace.diff import (
+    SeriesDelta,
+    check_envelope,
+    diff_telemetry,
+    envelope_from_summary,
+    is_envelope,
+)
+from repro.trace.importers import import_mahimahi, parse_mahimahi
 from repro.trace.io import (
     load_trace,
     load_trace_cached,
@@ -37,20 +49,30 @@ from repro.trace.io import (
     to_json_text,
 )
 from repro.trace.model import REPLAY_RATE_FLOOR, MeasuredTrace, NodeTrace, TracePoint
+from repro.trace.plot import build_frame, plot_telemetry
 from repro.trace.recorder import TelemetrySpec, TraceRecorder, read_jsonl
 
 __all__ = [
     "MeasuredTrace",
     "NodeTrace",
     "REPLAY_RATE_FLOOR",
+    "SeriesDelta",
     "TelemetrySpec",
     "TraceError",
     "TracePoint",
     "TraceRecorder",
+    "build_frame",
+    "check_envelope",
+    "diff_telemetry",
+    "envelope_from_summary",
+    "import_mahimahi",
+    "is_envelope",
     "load_trace",
     "load_trace_cached",
     "parse_csv",
     "parse_json",
+    "parse_mahimahi",
+    "plot_telemetry",
     "read_jsonl",
     "resolve_trace_path",
     "save_trace",

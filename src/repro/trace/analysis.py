@@ -35,9 +35,18 @@ _INTERVAL_FIELDS = ("egress_util", "ingress_util")
 
 
 def _weighted_stats(values: np.ndarray, weights: np.ndarray) -> dict[str, float]:
-    """Mean (by ``weights``) and max of ``values``; zero-weight mean is 0."""
+    """Mean (by ``weights``) and max of ``values``.
+
+    When the total weight is zero (a single-sample series, or every sample
+    at the same instant) there is no interval to weight over, so the mean
+    falls back to the plain unweighted mean — a lone sample reports its
+    actual value, matching what ``max`` already said, instead of 0.
+    """
     total = float(weights.sum())
-    mean = float((values * weights).sum() / total) if total > 0 else 0.0
+    if total > 0:
+        mean = float((values * weights).sum() / total)
+    else:
+        mean = float(values.mean()) if values.size else 0.0
     return {
         "mean": mean,
         "max": float(values.max()) if values.size else 0.0,
@@ -58,6 +67,8 @@ def summarise_node_samples(rows: list[Mapping[str, Any]]) -> dict[str, Any]:
         "t_start": float(t[0]),
         "t_end": float(t[-1]),
     }
+    if len(rows) == 1:
+        summary["warnings"] = ["single sample: means are unweighted instantaneous values"]
     for name in _STEP_FIELDS:
         values = np.asarray([row.get(name, 0) for row in rows], dtype=np.float64)
         summary[name] = _weighted_stats(values, forward)

@@ -7,6 +7,11 @@
     python -m repro.experiments trace convert in.csv out.csv --step 0.5 --scale 2
     python -m repro.experiments trace export trace-replay-wan --out telemetry
     python -m repro.experiments trace summarise telemetry/trace-replay-wan-base-seed7.jsonl
+    python -m repro.experiments trace plot telemetry/trace-replay-wan-base-seed0.jsonl
+    python -m repro.experiments trace diff tests/golden/envelopes/trace-replay-wan.json \\
+        telemetry/trace-replay-wan-base-seed0.jsonl
+    python -m repro.experiments trace import traces/mahimahi-cellular.down \\
+        --format mahimahi --name cellular-lte --out traces/cellular-lte.json
 
 * ``inspect`` prints per-node statistics of a trace file (breakpoints,
   duration, time-weighted mean/min/max rates), or the same as JSON.
@@ -20,9 +25,20 @@
 * ``summarise`` reduces a recorded telemetry JSONL (as written by
   ``export``) to time-weighted queue-depth and link-utilisation statistics,
   per node and cluster-wide, as a table or JSON.
+* ``plot`` renders a telemetry JSONL to files: per-node queue-depth
+  heatmaps (PNG), link-utilisation and queue curves, and the epoch-frontier
+  progress curve (SVG).  No plotting library needed — see
+  :mod:`repro.trace.plot`.
+* ``diff`` compares a telemetry recording against a reference: either a
+  second recording or a pinned ``repro-envelope-v1`` envelope (detected by
+  content).  Exit status 0 inside tolerance, **1** on any breach.
+* ``import`` converts third-party recordings (Mahimahi packet-delivery
+  files) into a ``repro-trace-v1`` trace file — see
+  :mod:`repro.trace.importers`.
 
 Every user error (missing file, malformed trace, bad scenario) is reported
-as a one-line ``error:`` on stderr with exit status 2, never a traceback.
+as a one-line ``error:`` on stderr with exit status 2, never a traceback
+(``diff`` reserves 1 for "compared fine, but out of tolerance").
 """
 
 from __future__ import annotations
@@ -31,6 +47,7 @@ import argparse
 import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 
 from repro.common.errors import ConfigurationError, TraceError
 from repro.trace.io import load_trace, save_trace
@@ -96,17 +113,90 @@ def add_trace_parser(subparsers) -> None:
     )
     summarise.add_argument("--json", action="store_true", help="emit the statistics as JSON")
 
+    plot = nested.add_parser(
+        "plot", help="render telemetry JSONL to queue heatmaps and progress curves"
+    )
+    plot.add_argument("telemetry", help="path to a telemetry .jsonl file (from `export`)")
+    plot.add_argument(
+        "--out-dir", default="plots", help="directory for the rendered files (default: plots)"
+    )
+    plot.add_argument(
+        "--series",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="heatmap series to render (repeatable; default: egress_queue, ingress_queue)",
+    )
+    plot.add_argument(
+        "--stem", default=None, help="output filename stem (default: the telemetry stem)"
+    )
+
+    diff = nested.add_parser(
+        "diff", help="compare telemetry against a recording or a pinned envelope"
+    )
+    diff.add_argument(
+        "reference", help="reference: a telemetry .jsonl or a repro-envelope-v1 .json"
+    )
+    diff.add_argument("observed", help="the telemetry .jsonl to check")
+    diff.add_argument(
+        "--rel-tol", type=float, default=None, help="relative tolerance (fraction, e.g. 0.05)"
+    )
+    diff.add_argument(
+        "--abs-tol",
+        action="append",
+        default=None,
+        metavar="SERIES=VALUE",
+        help="absolute tolerance floor for one series (repeatable), or a bare "
+        "number applying to every series",
+    )
+    diff.add_argument("--json", action="store_true", help="emit the deltas as JSON")
+
+    importer = nested.add_parser(
+        "import", help="convert third-party recordings into a repro-trace-v1 file"
+    )
+    importer.add_argument(
+        "sources", nargs="+", help="downlink recording files, one per node (in node order)"
+    )
+    importer.add_argument(
+        "--format",
+        dest="source_format",
+        default="mahimahi",
+        help="source format (default: mahimahi)",
+    )
+    importer.add_argument(
+        "--up",
+        nargs="+",
+        default=None,
+        metavar="FILE",
+        help="matching uplink files (same order); omitted, links are symmetric",
+    )
+    importer.add_argument(
+        "--bin",
+        dest="bin_seconds",
+        type=float,
+        default=None,
+        help="binning window in seconds when lowering to rates (default: 1.0)",
+    )
+    importer.add_argument(
+        "--mtu", type=int, default=None, help="bytes per delivery opportunity (default: 1504)"
+    )
+    importer.add_argument("--name", default=None, help="trace name (default: output stem)")
+    importer.add_argument("--out", required=True, help="destination .json or .csv trace file")
+
 
 def run_trace_command(args: argparse.Namespace) -> int:
     """Dispatch one parsed ``trace`` invocation; returns the exit status."""
+    handlers = {
+        "inspect": _inspect,
+        "convert": _convert,
+        "summarise": _summarise,
+        "plot": _plot,
+        "diff": _diff,
+        "import": _import,
+        "export": _export,
+    }
     try:
-        if args.trace_command == "inspect":
-            return _inspect(args)
-        if args.trace_command == "convert":
-            return _convert(args)
-        if args.trace_command == "summarise":
-            return _summarise(args)
-        return _export(args)
+        return handlers[args.trace_command](args)
     except (TraceError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -214,16 +304,22 @@ def _export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _summarise(args: argparse.Namespace) -> int:
-    from repro.trace.analysis import summarise_telemetry
+def _read_rows(path: str) -> list:
+    """Read telemetry JSONL, wrapping I/O and parse failures as TraceError."""
     from repro.trace.recorder import read_jsonl
 
     try:
-        rows = read_jsonl(args.telemetry)
+        return read_jsonl(path)
     except OSError as exc:
         raise TraceError(f"cannot read telemetry file: {exc}") from exc
     except json.JSONDecodeError as exc:
-        raise TraceError(f"malformed telemetry JSONL {args.telemetry}: {exc}") from exc
+        raise TraceError(f"malformed telemetry JSONL {path}: {exc}") from exc
+
+
+def _summarise(args: argparse.Namespace) -> int:
+    from repro.trace.analysis import summarise_telemetry
+
+    rows = _read_rows(args.telemetry)
     summary = summarise_telemetry(rows)
     if args.node is not None:
         nodes = [node for node in summary["nodes"] if node["node"] == args.node]
@@ -257,6 +353,139 @@ def _summarise(args: argparse.Namespace) -> int:
             f"{iq['mean']:>8.1f}/{iq['max']:>9.0f}  "
             f"{eu['mean']:>11.3f}  {iu['mean']:>12.3f}"
         )
+    for row in summary["nodes"]:
+        for warning in row.get("warnings", ()):
+            print(f"warning: node {row['node']}: {warning}")
+    return 0
+
+
+def _plot(args: argparse.Namespace) -> int:
+    from repro.trace.plot import HEATMAP_SERIES, plot_telemetry
+
+    series = tuple(args.series) if args.series else ("egress_queue", "ingress_queue")
+    unknown = sorted(set(series) - set(HEATMAP_SERIES))
+    if unknown:
+        raise TraceError(
+            f"unknown heatmap series {unknown} (choose from {', '.join(HEATMAP_SERIES)})"
+        )
+    rows = _read_rows(args.telemetry)
+    stem = args.stem if args.stem else Path(args.telemetry).stem
+    written = plot_telemetry(rows, args.out_dir, stem, heatmap_series=series)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _parse_abs_tol(assignments):
+    """``--abs-tol`` values: ``SERIES=VALUE`` entries or one bare number."""
+    if assignments is None:
+        return None
+    per_series = {}
+    for assignment in assignments:
+        name, sep, value = assignment.partition("=")
+        if not sep:
+            if len(assignments) > 1:
+                raise TraceError(
+                    f"a bare --abs-tol number applies to every series; "
+                    f"got {len(assignments)} values"
+                )
+            try:
+                return float(name)
+            except ValueError:
+                raise TraceError(
+                    f"--abs-tol expects SERIES=VALUE or a number, got {assignment!r}"
+                ) from None
+        try:
+            per_series[name] = float(value)
+        except ValueError:
+            raise TraceError(
+                f"--abs-tol {assignment!r}: {value!r} is not a number"
+            ) from None
+    return per_series
+
+
+def _diff(args: argparse.Namespace) -> int:
+    from repro.trace.diff import breaches, check_envelope, diff_telemetry, is_envelope
+
+    abs_tol = _parse_abs_tol(args.abs_tol)
+    reference_payload = None
+    if args.reference.endswith(".json"):
+        try:
+            reference_payload = json.loads(Path(args.reference).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise TraceError(f"cannot read reference file: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"malformed reference JSON {args.reference}: {exc}") from exc
+    observed = _read_rows(args.observed)
+    if reference_payload is not None:
+        if not is_envelope(reference_payload):
+            raise TraceError(
+                f"reference {args.reference} is JSON but not a repro-envelope-v1 "
+                f"envelope; pass a telemetry .jsonl to diff two recordings"
+            )
+        deltas = check_envelope(observed, reference_payload, abs_tol, args.rel_tol)
+    else:
+        deltas = diff_telemetry(_read_rows(args.reference), observed, abs_tol, args.rel_tol)
+    failed = breaches(deltas)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "reference": args.reference,
+                    "observed": args.observed,
+                    "breaches": len(failed),
+                    "deltas": [delta.as_dict() for delta in deltas],
+                },
+                indent=2,
+            )
+        )
+        return 1 if failed else 0
+    header = (
+        f"{'node':>7}  {'series':>13}  {'stat':>4}  {'reference':>12}  "
+        f"{'observed':>12}  {'delta':>12}  {'allowed':>10}  "
+    )
+    print(header)
+    print("-" * len(header))
+    for delta in deltas:
+        flag = "BREACH" if delta.breach else "ok"
+        print(
+            f"{delta.node:>7}  {delta.series:>13}  {delta.stat:>4}  "
+            f"{delta.reference:>12.3f}  {delta.observed:>12.3f}  "
+            f"{delta.delta:>+12.3f}  {delta.allowed:>10.3f}  {flag}"
+        )
+    if failed:
+        print(
+            f"{len(failed)} of {len(deltas)} compared series out of tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(deltas)} compared series within tolerance")
+    return 0
+
+
+def _import(args: argparse.Namespace) -> int:
+    from repro.trace.importers import DEFAULT_BIN_SECONDS, IMPORTERS, MTU_BYTES
+
+    if args.source_format not in IMPORTERS:
+        raise TraceError(
+            f"unknown import format {args.source_format!r} "
+            f"(supported: {', '.join(sorted(IMPORTERS))})"
+        )
+    importer = IMPORTERS[args.source_format]
+    name = args.name if args.name else Path(args.out).stem
+    trace = importer(
+        name,
+        args.sources,
+        up_files=args.up,
+        bin_seconds=args.bin_seconds if args.bin_seconds is not None else DEFAULT_BIN_SECONDS,
+        mtu_bytes=args.mtu if args.mtu is not None else MTU_BYTES,
+    )
+    target = save_trace(trace, args.out)
+    print(
+        f"imported {len(args.sources)} {args.source_format} recording(s): "
+        f"trace {trace.name!r}, {trace.num_nodes} node(s), "
+        f"{trace.duration:g} s, {trace.num_points} breakpoint(s) -> {target}"
+    )
     return 0
 
 

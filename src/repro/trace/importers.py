@@ -1,0 +1,186 @@
+"""Importing third-party link recordings into the ``repro-trace-v1`` model.
+
+The trace model (:mod:`repro.trace.model`) speaks piecewise-constant
+bytes/second breakpoints; measurement tools mostly don't.  This module holds
+the converters, starting with the **Mahimahi packet-delivery format** used
+by ``mm-link`` and by the Pacer/Vantage-style capacity probes distributed
+with it: a text file with one integer millisecond timestamp per line, each
+line one delivery opportunity for a single MTU-sized (1504-byte) packet.
+The timestamps are non-decreasing; a burst of opportunities at one instant
+is simply the same millisecond repeated.
+
+Import lowers that to rates by binning: count the opportunities in each
+``bin_seconds`` window, multiply by the MTU, divide by the bin — then
+coalesce runs of equal-rate bins into single breakpoints (the model holds a
+rate until the next breakpoint, so equal neighbours are redundant).  A bin
+with no opportunities is a genuine measured outage and becomes rate 0; the
+replay floor (:data:`~repro.trace.model.REPLAY_RATE_FLOOR`) is applied at
+simulation time, not here, so the file preserves what was measured.
+
+A Mahimahi file records one direction of one link.  A full
+:class:`~repro.trace.model.MeasuredTrace` therefore takes one downlink file
+per node and, optionally, matching uplink files; without uplinks the link
+is treated as symmetric (up mirrors down), which is how the saturator logs
+are usually replayed.
+
+The CLI front-end is ``python -m repro.experiments trace import``; a
+bundled example lives at ``traces/mahimahi-cellular.down`` with its
+imported form at ``traces/cellular-lte.json`` (see ``traces/README.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Sequence
+
+from repro.common.errors import TraceError
+from repro.trace.io import resolve_trace_path
+from repro.trace.model import MeasuredTrace, NodeTrace, TracePoint
+
+#: Bytes delivered per Mahimahi opportunity (the MTU ``mm-link`` assumes).
+MTU_BYTES = 1504
+
+#: Default binning window for lowering opportunities to rates.
+DEFAULT_BIN_SECONDS = 1.0
+
+
+def parse_mahimahi(text: str, name: str = "trace") -> tuple[int, ...]:
+    """Parse a Mahimahi packet-delivery file into millisecond timestamps.
+
+    Validates what the format promises: one non-negative integer per
+    non-empty line, non-decreasing.  Lines starting with ``#`` are skipped
+    (some probe tools prepend a provenance comment).
+    """
+    stamps: list[int] = []
+    previous = -1
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            stamp = int(line)
+        except ValueError:
+            raise TraceError(
+                f"mahimahi trace {name!r} line {number}: expected an integer "
+                f"millisecond timestamp, got {line!r}"
+            ) from None
+        if stamp < 0:
+            raise TraceError(
+                f"mahimahi trace {name!r} line {number}: negative timestamp {stamp}"
+            )
+        if stamp < previous:
+            raise TraceError(
+                f"mahimahi trace {name!r} line {number}: timestamps must be "
+                f"non-decreasing (got {stamp} after {previous})"
+            )
+        stamps.append(stamp)
+        previous = stamp
+    if not stamps:
+        raise TraceError(f"mahimahi trace {name!r}: no delivery opportunities")
+    return tuple(stamps)
+
+
+def opportunities_to_rates(
+    stamps_ms: Sequence[int],
+    bin_seconds: float = DEFAULT_BIN_SECONDS,
+    mtu_bytes: int = MTU_BYTES,
+) -> tuple[tuple[float, float], ...]:
+    """Lower delivery opportunities to ``(time, bytes_per_second)`` breakpoints.
+
+    Bins cover ``[0, ceil(span / bin))`` so the trailing partial window still
+    gets a rate; empty bins are measured outages (rate 0).  Runs of
+    equal-rate bins coalesce into one breakpoint.
+    """
+    if bin_seconds <= 0 or not math.isfinite(bin_seconds):
+        raise TraceError(f"bin width must be positive and finite, got {bin_seconds}")
+    if mtu_bytes <= 0:
+        raise TraceError(f"MTU must be positive, got {mtu_bytes}")
+    bin_ms = bin_seconds * 1000.0
+    num_bins = max(1, math.ceil((stamps_ms[-1] + 1) / bin_ms))
+    counts = [0] * num_bins
+    for stamp in stamps_ms:
+        counts[min(num_bins - 1, int(stamp / bin_ms))] += 1
+    points: list[tuple[float, float]] = []
+    for index, count in enumerate(counts):
+        rate = count * mtu_bytes / bin_seconds
+        if not points or points[-1][1] != rate:
+            points.append((index * bin_seconds, rate))
+    return tuple(points)
+
+
+def _read_direction(path: str | Path) -> tuple[int, ...]:
+    resolved = resolve_trace_path(path)
+    try:
+        text = resolved.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceError(f"cannot read mahimahi file {str(resolved)!r}: {exc}") from exc
+    return parse_mahimahi(text, name=resolved.name)
+
+
+def import_mahimahi(
+    name: str,
+    down_files: Sequence[str | Path],
+    up_files: Sequence[str | Path] | None = None,
+    bin_seconds: float = DEFAULT_BIN_SECONDS,
+    mtu_bytes: int = MTU_BYTES,
+) -> MeasuredTrace:
+    """Build a :class:`MeasuredTrace` from Mahimahi recordings.
+
+    One downlink file per node; ``up_files`` (same length, same order) are
+    optional — omitted, every link is symmetric.  Nodes are numbered in
+    argument order.
+    """
+    if not down_files:
+        raise TraceError("need at least one mahimahi downlink file")
+    if up_files is not None and len(up_files) != len(down_files):
+        raise TraceError(
+            f"uplink file count ({len(up_files)}) must match downlink "
+            f"file count ({len(down_files)})"
+        )
+    nodes = []
+    for node_id, down_path in enumerate(down_files):
+        down = opportunities_to_rates(_read_direction(down_path), bin_seconds, mtu_bytes)
+        if up_files is None:
+            up = down
+        else:
+            up = opportunities_to_rates(
+                _read_direction(up_files[node_id]), bin_seconds, mtu_bytes
+            )
+        points = _merge_directions(up, down)
+        nodes.append(NodeTrace(node=node_id, points=points))
+    return MeasuredTrace(name=name, nodes=tuple(nodes))
+
+
+def _merge_directions(
+    up: Sequence[tuple[float, float]], down: Sequence[tuple[float, float]]
+) -> tuple[TracePoint, ...]:
+    """Zip two single-direction breakpoint series onto one time axis."""
+    times = sorted({t for t, _ in up} | {t for t, _ in down})
+    points: list[TracePoint] = []
+    ui = di = 0
+    up_rate = down_rate = 0.0
+    for t in times:
+        while ui < len(up) and up[ui][0] <= t:
+            up_rate = up[ui][1]
+            ui += 1
+        while di < len(down) and down[di][0] <= t:
+            down_rate = down[di][1]
+            di += 1
+        points.append((t, up_rate, down_rate))
+    return tuple(points)
+
+
+#: Importer registry keyed by the CLI's ``--format`` value.  One entry today;
+#: the shape exists so a second campaign format lands as a function + a row.
+IMPORTERS = {"mahimahi": import_mahimahi}
+
+
+__all__ = [
+    "DEFAULT_BIN_SECONDS",
+    "IMPORTERS",
+    "MTU_BYTES",
+    "import_mahimahi",
+    "opportunities_to_rates",
+    "parse_mahimahi",
+]

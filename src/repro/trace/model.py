@@ -163,9 +163,22 @@ class MeasuredTrace:
 
         The rates in effect at ``start`` become the new first breakpoint, so
         clipping never changes what a replay inside the window would see.
+
+        ``end`` may reach past :attr:`duration` — the final breakpoint's
+        rates hold forever (tail-hold), so the clip keeps everything up to
+        the last breakpoint and the result's duration is that breakpoint,
+        not ``end``.  A window that *starts* at or past ``duration`` holds
+        no measured breakpoints at all (it would be pure extrapolation of
+        the final rates), so it raises instead of silently succeeding.
         """
         if start < 0 or end <= start:
             raise TraceError(f"need 0 <= start < end, got [{start}, {end})")
+        if start >= self.duration:
+            raise TraceError(
+                f"clip window [{start:g}, {end:g}) starts at or past the trace's "
+                f"last breakpoint (duration {self.duration:g} s); nothing "
+                f"measured remains"
+            )
         nodes = []
         for node in self.nodes:
             up, down = node.rates_at(start)
@@ -185,15 +198,27 @@ class MeasuredTrace:
         original breakpoint lands on the grid — e.g. a 1 s-sampled recording
         resampled at 0.5 s; a breakpoint *between* grid points has its rate
         change deferred to the next grid point.
+
+        Resampling never changes :attr:`duration`: when the grid does not
+        land exactly on the final breakpoint, the last tick is the exact
+        original duration (carrying the final rates) rather than the first
+        grid point past it — a 5 s trace resampled at 2 s ends at 5, not 6.
         """
         if step <= 0 or not math.isfinite(step):
             raise TraceError(f"resampling step must be positive and finite, got {step}")
-        ticks = max(1, math.ceil(self.duration / step - 1e-9)) + 1
+        duration = self.duration
+        eps = 1e-9 * max(1.0, duration)
+        ticks = [0.0]
+        i = 1
+        while i * step < duration - eps:
+            ticks.append(i * step)
+            i += 1
+        if duration > 0:
+            ticks.append(duration)
         nodes = []
         for node in self.nodes:
             points = []
-            for i in range(ticks):
-                t = i * step
+            for t in ticks:
                 up, down = node.rates_at(t)
                 points.append((t, up, down))
             nodes.append(NodeTrace(node=node.node, points=tuple(points)))

@@ -1,0 +1,513 @@
+"""Render recorded telemetry to PNG/SVG charts with no plotting stack.
+
+The telemetry JSONL written by :mod:`repro.trace.recorder` is the run as it
+unfolded; this module turns it into the three pictures a person actually
+looks at:
+
+* **queue-depth heatmaps** — one pixel row per node, one column per sample
+  tick, colour mapped to queued + in-flight bytes (PNG);
+* **utilisation-vs-commit overlays** — per-node link-utilisation curves
+  with the cluster mean emphasised and every epoch commit marked on the
+  time axis (SVG);
+* **epoch-frontier progress curves** — each node's delivered-epoch frontier
+  against virtual time, the Fig. 9 shape, straight from telemetry (SVG).
+
+The pinned container and the CI boxes carry numpy but no matplotlib, so the
+renderers write both formats directly: PNGs through a minimal encoder
+(stdlib ``zlib``/``struct``, 8-bit RGB, filter 0) and SVGs as hand-assembled
+markup.  Everything is deterministic — the same JSONL renders byte-identical
+files, so plots can be diffed like any other artifact.
+
+Colour is assigned by job, not taste: heatmaps use a single-hue sequential
+ramp (light = near zero, dark = deep queues), per-node curves take a fixed
+eight-slot categorical order chosen for colour-vision-deficiency separation,
+and nodes past the eighth fold into a muted neutral instead of cycling hues.
+Text and grid stay in recessive inks so the data carries the chart.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import TraceError
+
+#: Sample-row series that can be rendered as a heatmap (value semantics:
+#: instantaneous snapshots, bytes or fractions — anything non-negative).
+HEATMAP_SERIES = (
+    "egress_queue",
+    "ingress_queue",
+    "egress_util",
+    "ingress_util",
+)
+
+#: Sequential one-hue ramp (light -> dark blue): near-zero recedes toward
+#: the surface, deep values read as ink.  Interpolated linearly in RGB.
+_SEQUENTIAL_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+#: Fixed categorical slot order for per-node curves (identity encoding).
+#: The order is the colour-vision-safety mechanism — never cycled: nodes
+#: past the eighth fold into the muted neutral below.
+_CATEGORICAL = (
+    "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+    "#e87ba4", "#008300", "#4a3aa7", "#e34948",
+)
+_FOLDED = "#b0afa9"  # nodes 8+ (identity folded to "other")
+
+_SURFACE = "#fcfcfb"
+_TEXT = "#0b0b0b"
+_TEXT_MUTED = "#52514e"
+_GRID = "#e7e6e2"
+_AXIS = "#b0afa9"
+
+
+# --------------------------------------------------------------------------
+# Telemetry -> arrays
+
+
+@dataclass
+class TelemetryFrame:
+    """Sample rows reshaped onto a (node x tick) grid, plus commit times.
+
+    ``series[name]`` is a float matrix with one row per node and one column
+    per grid tick; a node missing a tick carries its previous value forward
+    (telemetry grids are uniform in practice, so this is a robustness
+    affordance, not a resampler).
+    """
+
+    times: np.ndarray
+    nodes: tuple[int, ...]
+    series: dict[str, np.ndarray]
+    commits: tuple[tuple[float, int, int], ...]  # (t, node, epoch)
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1]) if self.times.size else 0.0
+
+
+def build_frame(rows: Iterable[Mapping[str, Any]]) -> TelemetryFrame:
+    """Reshape telemetry rows (as from ``read_jsonl``) into a frame.
+
+    Raises:
+        TraceError: if the rows contain no ``sample`` rows (recording off,
+            or the file is not a telemetry stream).
+    """
+    meta: Mapping[str, Any] = {}
+    samples: list[Mapping[str, Any]] = []
+    commits: list[tuple[float, int, int]] = []
+    for row in rows:
+        kind = row.get("kind")
+        if kind == "meta" and not meta:
+            meta = row
+        elif kind == "sample":
+            samples.append(row)
+        elif kind == "commit":
+            commits.append((float(row["t"]), int(row["node"]), int(row["epoch"])))
+    if not samples:
+        raise TraceError("no sample rows in telemetry (was recording enabled?)")
+
+    times = np.asarray(sorted({float(row["t"]) for row in samples}), dtype=np.float64)
+    index = {t: i for i, t in enumerate(times.tolist())}
+    nodes = tuple(sorted({int(row["node"]) for row in samples}))
+    node_index = {node: i for i, node in enumerate(nodes)}
+
+    names = [name for name in HEATMAP_SERIES if any(name in row for row in samples)]
+    for extra in ("delivered_epoch", "current_epoch"):
+        if any(extra in row for row in samples):
+            names.append(extra)
+    series = {name: np.zeros((len(nodes), times.size)) for name in names}
+    seen = {name: np.zeros((len(nodes), times.size), dtype=bool) for name in names}
+    for row in samples:
+        i = node_index[int(row["node"])]
+        j = index[float(row["t"])]
+        for name in names:
+            if name in row:
+                series[name][i, j] = float(row[name])
+                seen[name][i, j] = True
+    # Forward-fill ticks a node never reported (irregular or truncated grids).
+    for name in names:
+        matrix, present = series[name], seen[name]
+        for j in range(1, times.size):
+            missing = ~present[:, j]
+            matrix[missing, j] = matrix[missing, j - 1]
+    return TelemetryFrame(
+        times=times,
+        nodes=nodes,
+        series=series,
+        commits=tuple(sorted(commits)),
+        meta=meta,
+    )
+
+
+# --------------------------------------------------------------------------
+# PNG encoding (no imaging library: 8-bit RGB, filter 0, one IDAT)
+
+
+def write_png(path: str | Path, pixels: np.ndarray) -> Path:
+    """Write an ``(H, W, 3)`` uint8 array as a PNG file."""
+    pixels = np.ascontiguousarray(pixels, dtype=np.uint8)
+    if pixels.ndim != 3 or pixels.shape[2] != 3:
+        raise ValueError(f"expected an (H, W, 3) array, got {pixels.shape}")
+    height, width, _ = pixels.shape
+    # Every scanline is prefixed with filter type 0 (None).
+    raw = (
+        np.concatenate([np.zeros((height, 1), dtype=np.uint8),
+                        pixels.reshape(height, width * 3)], axis=1)
+        .tobytes()
+    )
+
+    def chunk(tag: bytes, data: bytes) -> bytes:
+        return (
+            struct.pack(">I", len(data))
+            + tag
+            + data
+            + struct.pack(">I", zlib.crc32(tag + data) & 0xFFFFFFFF)
+        )
+
+    header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    payload = (
+        b"\x89PNG\r\n\x1a\n"
+        + chunk(b"IHDR", header)
+        + chunk(b"IDAT", zlib.compress(raw, 6))
+        + chunk(b"IEND", b"")
+    )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_bytes(payload)
+    return target
+
+
+def _hex_rgb(colour: str) -> tuple[int, int, int]:
+    return int(colour[1:3], 16), int(colour[3:5], 16), int(colour[5:7], 16)
+
+
+def sequential_colormap(values: np.ndarray) -> np.ndarray:
+    """Map values in ``[0, 1]`` onto the sequential ramp; returns uint8 RGB."""
+    anchors = np.asarray([_hex_rgb(c) for c in _SEQUENTIAL_RAMP], dtype=np.float64)
+    clipped = np.clip(values, 0.0, 1.0)
+    position = clipped * (len(anchors) - 1)
+    low = np.floor(position).astype(int)
+    high = np.minimum(low + 1, len(anchors) - 1)
+    frac = (position - low)[..., None]
+    rgb = anchors[low] * (1.0 - frac) + anchors[high] * frac
+    return np.round(rgb).astype(np.uint8)
+
+
+def heatmap_pixels(
+    matrix: np.ndarray, *, max_width: int = 1024, max_height: int = 512
+) -> np.ndarray:
+    """Upscale a (node x tick) value matrix to RGB pixels.
+
+    Values are normalised by the matrix maximum (an all-zero matrix renders
+    as the ramp's near-surface end), each cell becomes an integer pixel
+    block sized to fit the bounds, and a 1-px surface gap separates node
+    rows so adjacent nodes never read as one band.
+    """
+    peak = float(matrix.max())
+    normalised = matrix / peak if peak > 0 else np.zeros_like(matrix)
+    rgb = sequential_colormap(normalised)
+    n_nodes, n_ticks = matrix.shape
+    cell_w = max(2, min(16, max_width // max(1, n_ticks)))
+    cell_h = max(4, min(24, max_height // max(1, n_nodes)))
+    scaled = np.repeat(np.repeat(rgb, cell_h, axis=0), cell_w, axis=1)
+    surface = np.asarray(_hex_rgb(_SURFACE), dtype=np.uint8)
+    for i in range(1, n_nodes):
+        scaled[i * cell_h, :, :] = surface
+    return scaled
+
+
+def render_heatmap(frame: TelemetryFrame, series: str, out: str | Path) -> Path:
+    """Render one series' per-node heatmap (nodes top-to-bottom) as PNG."""
+    if series not in frame.series:
+        raise TraceError(
+            f"telemetry has no {series!r} series (available: "
+            f"{', '.join(sorted(frame.series))})"
+        )
+    return write_png(out, heatmap_pixels(frame.series[series]))
+
+
+# --------------------------------------------------------------------------
+# SVG line charts
+
+
+def _nice_ticks(low: float, high: float, target: int = 5) -> list[float]:
+    """A small 'nice numbers' axis: steps of 1/2/5 x 10^k covering the span."""
+    span = high - low
+    if span <= 0:
+        return [low]
+    raw = span / max(1, target)
+    magnitude = 10.0 ** np.floor(np.log10(raw))
+    for factor in (1.0, 2.0, 5.0, 10.0):
+        step = factor * magnitude
+        if span / step <= target:
+            break
+    first = np.ceil(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-9 * span:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting for SVG coordinates and labels."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _si(value: float) -> str:
+    """Human axis labels: 1500000 -> '1.5M'."""
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= factor:
+            return f"{value / factor:g}{suffix}"
+    return f"{value:g}"
+
+
+def _node_colour(position: int) -> str:
+    return _CATEGORICAL[position] if position < len(_CATEGORICAL) else _FOLDED
+
+
+class _SvgCanvas:
+    """A tiny SVG assembler: one fixed plot area, helpers for marks."""
+
+    WIDTH, HEIGHT = 760, 420
+    LEFT, RIGHT, TOP, BOTTOM = 64, 150, 48, 44
+
+    def __init__(self, title: str, subtitle: str):
+        self.parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.WIDTH}" '
+            f'height="{self.HEIGHT}" viewBox="0 0 {self.WIDTH} {self.HEIGHT}" '
+            f'font-family="system-ui, sans-serif">',
+            f'<rect width="{self.WIDTH}" height="{self.HEIGHT}" fill="{_SURFACE}"/>',
+            f'<text x="{self.LEFT}" y="22" font-size="15" font-weight="600" '
+            f'fill="{_TEXT}">{title}</text>',
+            f'<text x="{self.LEFT}" y="38" font-size="11" '
+            f'fill="{_TEXT_MUTED}">{subtitle}</text>',
+        ]
+        self.plot_w = self.WIDTH - self.LEFT - self.RIGHT
+        self.plot_h = self.HEIGHT - self.TOP - self.BOTTOM
+        self.x_span = (0.0, 1.0)
+        self.y_span = (0.0, 1.0)
+
+    def set_spans(self, x: tuple[float, float], y: tuple[float, float]) -> None:
+        self.x_span = (x[0], x[1] if x[1] > x[0] else x[0] + 1.0)
+        self.y_span = (y[0], y[1] if y[1] > y[0] else y[0] + 1.0)
+
+    def px(self, x: float) -> float:
+        lo, hi = self.x_span
+        return self.LEFT + (x - lo) / (hi - lo) * self.plot_w
+
+    def py(self, y: float) -> float:
+        lo, hi = self.y_span
+        return self.TOP + self.plot_h - (y - lo) / (hi - lo) * self.plot_h
+
+    def axes(self, x_label: str, y_label: str, y_format=_fmt) -> None:
+        bottom = self.TOP + self.plot_h
+        for tick in _nice_ticks(*self.y_span):
+            y = self.py(tick)
+            self.parts.append(
+                f'<line x1="{self.LEFT}" y1="{_fmt(y)}" '
+                f'x2="{self.LEFT + self.plot_w}" y2="{_fmt(y)}" '
+                f'stroke="{_GRID}" stroke-width="1"/>'
+            )
+            self.parts.append(
+                f'<text x="{self.LEFT - 8}" y="{_fmt(y + 3.5)}" font-size="10" '
+                f'text-anchor="end" fill="{_TEXT_MUTED}">{y_format(tick)}</text>'
+            )
+        for tick in _nice_ticks(*self.x_span, target=7):
+            x = self.px(tick)
+            self.parts.append(
+                f'<line x1="{_fmt(x)}" y1="{bottom}" x2="{_fmt(x)}" '
+                f'y2="{bottom + 4}" stroke="{_AXIS}" stroke-width="1"/>'
+            )
+            self.parts.append(
+                f'<text x="{_fmt(x)}" y="{bottom + 16}" font-size="10" '
+                f'text-anchor="middle" fill="{_TEXT_MUTED}">{_fmt(tick)}</text>'
+            )
+        self.parts.append(
+            f'<line x1="{self.LEFT}" y1="{bottom}" '
+            f'x2="{self.LEFT + self.plot_w}" y2="{bottom}" '
+            f'stroke="{_AXIS}" stroke-width="1"/>'
+        )
+        self.parts.append(
+            f'<text x="{self.LEFT + self.plot_w / 2}" y="{self.HEIGHT - 8}" '
+            f'font-size="11" text-anchor="middle" fill="{_TEXT_MUTED}">{x_label}</text>'
+        )
+        self.parts.append(
+            f'<text x="16" y="{self.TOP + self.plot_h / 2}" font-size="11" '
+            f'fill="{_TEXT_MUTED}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {self.TOP + self.plot_h / 2})">{y_label}</text>'
+        )
+
+    def polyline(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        colour: str,
+        width: float = 1.5,
+        opacity: float = 1.0,
+        step: bool = False,
+    ) -> None:
+        points: list[str] = []
+        last_y: float | None = None
+        for x, y in zip(xs, ys):
+            if step and last_y is not None:
+                points.append(f"{_fmt(self.px(x))},{_fmt(self.py(last_y))}")
+            points.append(f"{_fmt(self.px(x))},{_fmt(self.py(y))}")
+            last_y = y
+        self.parts.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{colour}" stroke-width="{width}" stroke-opacity="{opacity}" '
+            f'stroke-linejoin="round"/>'
+        )
+
+    def commit_marks(self, times: Sequence[float]) -> None:
+        """Epoch commits as short ticks hanging from the top of the plot."""
+        for t in times:
+            x = _fmt(self.px(t))
+            self.parts.append(
+                f'<line x1="{x}" y1="{self.TOP}" x2="{x}" y2="{self.TOP + 8}" '
+                f'stroke="{_TEXT_MUTED}" stroke-width="1" stroke-opacity="0.65"/>'
+            )
+
+    def legend(self, entries: Sequence[tuple[str, str, float]]) -> None:
+        """(label, colour, line-width) rows down the right margin."""
+        x = self.LEFT + self.plot_w + 14
+        y = self.TOP + 4
+        for label, colour, width in entries:
+            self.parts.append(
+                f'<line x1="{x}" y1="{y}" x2="{x + 18}" y2="{y}" '
+                f'stroke="{colour}" stroke-width="{width}"/>'
+            )
+            self.parts.append(
+                f'<text x="{x + 24}" y="{y + 3.5}" font-size="10" '
+                f'fill="{_TEXT}">{label}</text>'
+            )
+            y += 16
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("\n".join(self.parts) + "\n</svg>\n", encoding="utf-8")
+        return target
+
+
+def _legend_entries(frame: TelemetryFrame) -> list[tuple[str, str, float]]:
+    entries = [
+        (f"node {node}", _node_colour(i), 1.5)
+        for i, node in enumerate(frame.nodes[: len(_CATEGORICAL)])
+    ]
+    if len(frame.nodes) > len(_CATEGORICAL):
+        entries.append((f"nodes {frame.nodes[len(_CATEGORICAL)]}+", _FOLDED, 1.5))
+    return entries
+
+
+def render_utilisation(frame: TelemetryFrame, out: str | Path, side: str = "egress") -> Path:
+    """Per-node link utilisation over time, commits overlaid on the top edge."""
+    name = f"{side}_util"
+    if name not in frame.series:
+        raise TraceError(f"telemetry has no {name!r} series")
+    matrix = frame.series[name]
+    canvas = _SvgCanvas(
+        f"Link utilisation ({side})",
+        f"{len(frame.nodes)} node(s), {frame.duration:g} s virtual; "
+        f"ticks at the top mark epoch commits",
+    )
+    canvas.set_spans((0.0, frame.duration), (0.0, 1.0))
+    canvas.axes("virtual time (s)", "busy fraction per interval")
+    for i in range(len(frame.nodes)):
+        canvas.polyline(frame.times, matrix[i], _node_colour(i), 1.5, 0.85)
+    canvas.polyline(frame.times, matrix.mean(axis=0), _TEXT, 2.5)
+    canvas.commit_marks([t for t, _, _ in frame.commits])
+    canvas.legend([("cluster mean", _TEXT, 2.5), *_legend_entries(frame)])
+    return canvas.save(out)
+
+
+def render_progress(frame: TelemetryFrame, out: str | Path) -> Path:
+    """Delivered-epoch frontiers over time (the Fig. 9 progress shape)."""
+    if "delivered_epoch" not in frame.series:
+        raise TraceError("telemetry has no 'delivered_epoch' series")
+    matrix = frame.series["delivered_epoch"]
+    canvas = _SvgCanvas(
+        "Epoch-frontier progress",
+        f"delivered-epoch frontier per node over {frame.duration:g} s virtual",
+    )
+    canvas.set_spans((0.0, frame.duration), (0.0, max(1.0, float(matrix.max()))))
+    canvas.axes("virtual time (s)", "delivered epoch")
+    for i in range(len(frame.nodes)):
+        canvas.polyline(frame.times, matrix[i], _node_colour(i), 1.5, 0.9, step=True)
+    canvas.legend(_legend_entries(frame))
+    return canvas.save(out)
+
+
+def render_queue_curves(frame: TelemetryFrame, out: str | Path, side: str = "egress") -> Path:
+    """Per-node queue depth over time (the heatmap's line-chart companion)."""
+    name = f"{side}_queue"
+    if name not in frame.series:
+        raise TraceError(f"telemetry has no {name!r} series")
+    matrix = frame.series[name]
+    canvas = _SvgCanvas(
+        f"Queue depth ({side})",
+        f"queued + in-flight bytes per node over {frame.duration:g} s virtual",
+    )
+    canvas.set_spans((0.0, frame.duration), (0.0, max(1.0, float(matrix.max()))))
+    canvas.axes("virtual time (s)", "bytes", y_format=_si)
+    for i in range(len(frame.nodes)):
+        canvas.polyline(frame.times, matrix[i], _node_colour(i), 1.5, 0.85)
+    canvas.legend(_legend_entries(frame))
+    return canvas.save(out)
+
+
+# --------------------------------------------------------------------------
+# The one-call bundle the CLI and CI use
+
+
+def plot_telemetry(
+    rows: Iterable[Mapping[str, Any]],
+    out_dir: str | Path,
+    stem: str,
+    heatmap_series: Sequence[str] = ("egress_queue", "ingress_queue"),
+) -> list[Path]:
+    """Render the standard chart set for one telemetry stream.
+
+    Writes ``<stem>-<series>-heatmap.png`` per requested series, plus
+    ``<stem>-utilisation.svg``, ``<stem>-queue.svg`` and (when the stream
+    carries epoch frontiers) ``<stem>-progress.svg``; returns the paths.
+    """
+    frame = build_frame(rows)
+    out = Path(out_dir)
+    written: list[Path] = []
+    for series in heatmap_series:
+        written.append(render_heatmap(frame, series, out / f"{stem}-{series}-heatmap.png"))
+    written.append(render_utilisation(frame, out / f"{stem}-utilisation.svg"))
+    written.append(render_queue_curves(frame, out / f"{stem}-queue.svg"))
+    if "delivered_epoch" in frame.series:
+        written.append(render_progress(frame, out / f"{stem}-progress.svg"))
+    return written
+
+
+__all__ = [
+    "HEATMAP_SERIES",
+    "TelemetryFrame",
+    "build_frame",
+    "heatmap_pixels",
+    "plot_telemetry",
+    "render_heatmap",
+    "render_progress",
+    "render_queue_curves",
+    "render_utilisation",
+    "sequential_colormap",
+    "write_png",
+]

@@ -78,6 +78,12 @@ class TestAggregate:
         assert aggregate_mod.main(["--dir", str(tmp_path)]) == 1
         assert "no BENCH_" in capsys.readouterr().out
 
+    def test_main_on_absent_directory_fails_cleanly(self, tmp_path, capsys):
+        """A directory that doesn't exist is the same user error as an empty
+        one (nothing matched the BENCH_*.json glob), not a traceback."""
+        assert aggregate_mod.main(["--dir", str(tmp_path / "never-written")]) == 1
+        assert "no BENCH_" in capsys.readouterr().out
+
     def test_real_bench_files_all_aggregate(self):
         rows = aggregate_mod.aggregate(aggregate_mod.BENCH_DIR)
         reports = {row["report"] for row in rows}

@@ -188,6 +188,27 @@ class TestTelemetryAnalysis:
         with pytest.raises(TraceError, match="not sorted"):
             summarise_node_samples([sample(1.0), sample(0.5)])
 
+    def test_single_sample_reports_its_value_not_zero(self):
+        """Regression: with one sample every gap weight is zero, and the mean
+        used to report 0.0 for every field while max reported the value."""
+        stats = summarise_node_samples([sample(2.0, egress_queue=42, ingress_util=0.75)])
+        assert stats["egress_queue"]["mean"] == 42.0
+        assert stats["egress_queue"]["max"] == 42.0
+        assert stats["ingress_util"]["mean"] == pytest.approx(0.75)
+        assert stats["samples"] == 1
+        assert any("single sample" in warning for warning in stats["warnings"])
+
+    def test_multi_sample_series_has_no_warning_field(self):
+        stats = summarise_node_samples([sample(0.0), sample(1.0)])
+        assert "warnings" not in stats
+
+    def test_coincident_samples_fall_back_to_unweighted_mean(self):
+        """All samples at one instant: no interval to weight, plain mean."""
+        stats = summarise_node_samples(
+            [sample(1.0, egress_queue=10), sample(1.0, egress_queue=30)]
+        )
+        assert stats["egress_queue"]["mean"] == pytest.approx(20.0)
+
     def test_cluster_aggregates_and_meta(self):
         rows = [
             {"kind": "meta", "t": 0.0, "num_nodes": 2, "interval": 1.0},

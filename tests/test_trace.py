@@ -116,11 +116,64 @@ class TestTransforms:
         with pytest.raises(TraceError):
             trace.clipped(3.0, 3.0)
 
+    def test_clipped_window_past_the_duration_is_rejected(self):
+        """Regression: a window starting at/past the last breakpoint used to
+        silently return a constant extrapolation of the final rates."""
+        trace = two_node_trace()  # duration 10 s
+        with pytest.raises(TraceError, match="past the trace's last breakpoint"):
+            trace.clipped(10.0, 20.0)
+        with pytest.raises(TraceError, match="nothing measured remains"):
+            trace.clipped(0.0, 1e9).clipped(1e8, 1e9)
+
+    def test_clipped_end_past_the_duration_holds_the_tail(self):
+        """`end > duration` is legal: the final rates hold forever, so the
+        clip keeps every breakpoint and duration stays at the last one."""
+        trace = two_node_trace().clipped(4.0, 1e9)
+        assert trace.duration == 10.0 - 4.0
+        assert trace.rates_at(0, 1e6) == (1 * MB, 3 * MB)  # tail-hold
+
     def test_resampled_covers_the_duration(self):
         trace = two_node_trace().resampled(2.5)
         assert [t for t, _, _ in trace.nodes[0].points] == [0.0, 2.5, 5.0, 7.5, 10.0]
         with pytest.raises(TraceError):
             trace.resampled(-1.0)
+
+    def test_resampled_never_extends_the_trace(self):
+        """Regression: a 5 s trace resampled at 2 s used to gain a breakpoint
+        at 6 s, growing `duration` to 6.0."""
+        trace = MeasuredTrace.from_node_rates(
+            "five", {0: [(0.0, 1 * MB, 1 * MB), (5.0, 2 * MB, 2 * MB)]}
+        )
+        resampled = trace.resampled(2.0)
+        assert [t for t, _, _ in resampled.nodes[0].points] == [0.0, 2.0, 4.0, 5.0]
+        assert resampled.duration == trace.duration == 5.0
+        # The carried final tick holds the final measured rates.
+        assert resampled.rates_at(0, 5.0) == (2 * MB, 2 * MB)
+
+    def test_resampled_single_breakpoint_trace_stays_degenerate(self):
+        trace = MeasuredTrace.from_node_rates("one", {0: [(0.0, 1 * MB, 1 * MB)]})
+        resampled = trace.resampled(2.0)
+        assert resampled.duration == 0.0
+        assert resampled.nodes[0].points == ((0.0, 1 * MB, 1 * MB),)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.01, max_value=8.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        step=st.floats(min_value=0.05, max_value=7.0, allow_nan=False),
+    )
+    def test_resampled_duration_is_invariant(self, times, step):
+        """resampled(step).duration == duration for arbitrary grids/steps."""
+        breakpoints = [(0.0, 1.0, 1.0)]
+        t = 0.0
+        for gap in times:
+            t += float(gap)
+            breakpoints.append((t, 1.0, 1.0))
+        trace = MeasuredTrace.from_node_rates("prop", {0: breakpoints})
+        assert trace.resampled(float(step)).duration == trace.duration
 
     @settings(max_examples=40, deadline=None)
     @given(

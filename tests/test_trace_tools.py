@@ -1,0 +1,382 @@
+"""The telemetry toolchain: ``trace plot``, ``trace diff``, ``trace import``.
+
+Unit coverage for the three modules behind the new subcommands —
+:mod:`repro.trace.plot` (frame building and the dependency-free PNG/SVG
+renderers), :mod:`repro.trace.diff` (structured deltas, tolerances and
+``repro-envelope-v1`` envelopes), :mod:`repro.trace.importers` (the
+Mahimahi packet-delivery importer) — plus the CLI exit-status contracts:
+0 ok, 1 out-of-tolerance (``diff`` only), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import xml.etree.ElementTree as ET
+import zlib
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.analysis import summarise_telemetry
+from repro.trace.cli import add_trace_parser, run_trace_command
+from repro.trace.diff import (
+    DEFAULT_ABS_TOL,
+    SeriesDelta,
+    breaches,
+    check_envelope,
+    diff_telemetry,
+    envelope_from_summary,
+    is_envelope,
+)
+from repro.trace.importers import (
+    import_mahimahi,
+    opportunities_to_rates,
+    parse_mahimahi,
+)
+from repro.trace.io import load_trace
+from repro.trace.plot import build_frame, plot_telemetry, write_png
+
+
+def sample(t, node=0, **overrides):
+    row = {
+        "kind": "sample",
+        "t": t,
+        "node": node,
+        "egress_queue": 0,
+        "ingress_queue": 0,
+        "egress_util": 0.0,
+        "ingress_util": 0.0,
+    }
+    row.update(overrides)
+    return row
+
+
+def recording(scale=1.0, nodes=(0, 1), ticks=(0.0, 1.0, 2.0, 3.0)):
+    """A small two-node telemetry stream with per-node structure."""
+    rows = [{"kind": "meta", "t": 0.0, "num_nodes": len(nodes), "interval": 1.0}]
+    for node in nodes:
+        for i, t in enumerate(ticks):
+            rows.append(
+                sample(
+                    t,
+                    node=node,
+                    egress_queue=scale * (10_000 * (i + 1) + 5_000 * node),
+                    ingress_queue=scale * 4_000 * i,
+                    egress_util=min(1.0, 0.25 * scale * (i + 1)),
+                    ingress_util=0.5,
+                    delivered_epoch=i,
+                    current_epoch=i + 1,
+                )
+            )
+    rows.append({"kind": "commit", "t": 1.5, "node": nodes[0], "epoch": 1})
+    return rows
+
+
+def write_jsonl(path, rows):
+    path.write_text("".join(json.dumps(row) + "\n" for row in rows), encoding="utf-8")
+
+
+def run_cli(*argv):
+    parser = argparse.ArgumentParser()
+    add_trace_parser(parser.add_subparsers(dest="command", required=True))
+    return run_trace_command(parser.parse_args(["trace", *argv]))
+
+
+class TestPlotFrame:
+    def test_frame_shape_and_forward_fill(self):
+        frame = build_frame(recording())
+        assert frame.nodes == (0, 1)
+        assert len(frame.times) == 4
+        assert frame.series["egress_queue"][1][0] == 15_000
+        assert len(frame.commits) == 1
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(TraceError, match="no sample rows"):
+            build_frame([{"kind": "meta", "t": 0.0}])
+
+    def test_png_is_well_formed(self, tmp_path):
+        target = tmp_path / "tiny.png"
+        write_png(target, [[(255, 0, 0), (0, 0, 255)], [(0, 255, 0), (0, 0, 0)]])
+        data = target.read_bytes()
+        assert data[:8] == b"\x89PNG\r\n\x1a\n"
+        pos, kinds = 8, []
+        while pos < len(data):
+            length, kind = struct.unpack(">I4s", data[pos : pos + 8])
+            body = data[pos + 8 : pos + 8 + length]
+            (crc,) = struct.unpack(">I", data[pos + 8 + length : pos + 12 + length])
+            assert crc == zlib.crc32(kind + body) & 0xFFFFFFFF
+            kinds.append(kind)
+            pos += 12 + length
+        assert kinds == [b"IHDR", b"IDAT", b"IEND"]
+        assert struct.unpack(">II", data[16:24]) == (2, 2)
+
+    def test_plot_telemetry_writes_the_full_set(self, tmp_path):
+        written = plot_telemetry(recording(), tmp_path, "demo")
+        names = {path.name for path in written}
+        assert names == {
+            "demo-egress_queue-heatmap.png",
+            "demo-ingress_queue-heatmap.png",
+            "demo-utilisation.svg",
+            "demo-queue.svg",
+            "demo-progress.svg",
+        }
+        for path in written:
+            if path.suffix == ".svg":
+                ET.parse(path)  # well-formed XML
+            else:
+                assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+    def test_progress_curve_skipped_without_epoch_frontier(self, tmp_path):
+        rows = [sample(0.0), sample(1.0)]
+        written = plot_telemetry(rows, tmp_path, "bare")
+        assert not [path for path in written if "progress" in path.name]
+
+
+class TestPlotCli:
+    def test_renders_and_reports_paths(self, tmp_path, capsys):
+        source = tmp_path / "t.jsonl"
+        write_jsonl(source, recording())
+        assert run_cli("plot", str(source), "--out-dir", str(tmp_path / "plots")) == 0
+        out = capsys.readouterr().out
+        assert out.count("wrote ") == 5
+        assert (tmp_path / "plots" / "t-egress_queue-heatmap.png").exists()
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        assert run_cli("plot", str(tmp_path / "nope.jsonl")) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_malformed_jsonl_is_exit_2(self, tmp_path, capsys):
+        source = tmp_path / "bad.jsonl"
+        source.write_text('{"kind": "sample", \n', encoding="utf-8")
+        assert run_cli("plot", str(source)) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_unknown_series_is_exit_2(self, tmp_path, capsys):
+        source = tmp_path / "t.jsonl"
+        write_jsonl(source, recording())
+        assert run_cli("plot", str(source), "--series", "latency") == 2
+        assert "unknown heatmap series" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_identical_recordings_have_no_breaches(self):
+        deltas = diff_telemetry(recording(), recording())
+        assert deltas and not breaches(deltas)
+
+    def test_perturbed_series_breaches(self):
+        failed = breaches(diff_telemetry(recording(), recording(scale=1.5)))
+        assert failed
+        assert {delta.series for delta in failed} >= {"egress_queue"}
+
+    def test_relative_tolerance_widens_the_band(self):
+        assert not breaches(diff_telemetry(recording(), recording(scale=1.04)))
+        assert breaches(diff_telemetry(recording(), recording(scale=1.2)))
+        assert not breaches(
+            diff_telemetry(recording(), recording(scale=1.2), rel_tol=0.5)
+        )
+
+    def test_absolute_floor_covers_near_zero_series(self):
+        # ingress_queue maxes at 12 000 bytes; a +1 KB wiggle sits inside the
+        # 2 KB floor even though it is far beyond 5% relative.
+        base, nudged = recording(), recording()
+        for row in nudged:
+            if row["kind"] == "sample":
+                row["ingress_queue"] += 1_000
+        deltas = [d for d in diff_telemetry(base, nudged) if d.series == "ingress_queue"]
+        assert deltas and not breaches(deltas)
+
+    def test_mismatched_node_sets_rejected(self):
+        with pytest.raises(TraceError, match="node sets differ"):
+            diff_telemetry(recording(nodes=(0, 1)), recording(nodes=(0, 1, 2)))
+
+    def test_negative_rel_tol_rejected(self):
+        with pytest.raises(TraceError, match="non-negative"):
+            diff_telemetry(recording(), recording(), rel_tol=-0.1)
+
+    def test_delta_dict_shape(self):
+        delta = SeriesDelta("cluster", "egress_queue", "mean", 100.0, 90.0, 5.0)
+        payload = delta.as_dict()
+        assert payload["delta"] == -10.0
+        assert payload["breach"] is True
+
+
+class TestEnvelope:
+    def envelope(self, **kwargs):
+        return envelope_from_summary(
+            summarise_telemetry(recording()), scenario="demo", **kwargs
+        )
+
+    def test_round_trip_within_tolerance(self):
+        assert not breaches(check_envelope(recording(), self.envelope()))
+
+    def test_envelope_fields(self):
+        envelope = self.envelope(run={"seed": 0})
+        assert is_envelope(envelope)
+        assert envelope["num_nodes"] == 2
+        assert envelope["run"] == {"seed": 0}
+        assert envelope["tolerances"]["abs"] == dict(DEFAULT_ABS_TOL)
+        assert set(envelope["nodes"]) == {"0", "1"}
+
+    def test_perturbed_recording_breaches(self):
+        assert breaches(check_envelope(recording(scale=1.5), self.envelope()))
+
+    def test_tightened_tolerance_turns_a_pass_into_a_breach(self):
+        envelope = self.envelope()
+        nudged = recording()
+        for row in nudged:
+            if row["kind"] == "sample":
+                row["egress_queue"] = int(row["egress_queue"] * 1.03)
+        assert not breaches(check_envelope(nudged, envelope))
+        assert breaches(check_envelope(nudged, envelope, abs_tol=0.0, rel_tol=0.001))
+
+    def test_envelope_declared_tolerances_are_used(self):
+        wide = self.envelope(rel_tol=0.9)
+        assert not breaches(check_envelope(recording(scale=1.5), wide))
+
+    def test_non_envelope_payload_rejected(self):
+        with pytest.raises(TraceError, match="repro-envelope-v1"):
+            check_envelope(recording(), {"format": "something-else"})
+
+
+class TestDiffCli:
+    def test_two_recordings_within_tolerance_exit_0(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_jsonl(a, recording())
+        write_jsonl(b, recording())
+        assert run_cli("diff", str(a), str(b)) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_breach_is_exit_1(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_jsonl(a, recording())
+        write_jsonl(b, recording(scale=2.0))
+        assert run_cli("diff", str(a), str(b)) == 1
+        captured = capsys.readouterr()
+        assert "BREACH" in captured.out
+        assert "out of tolerance" in captured.err
+
+    def test_envelope_reference_and_json_output(self, tmp_path, capsys):
+        envelope = tmp_path / "envelope.json"
+        envelope.write_text(
+            json.dumps(envelope_from_summary(summarise_telemetry(recording()))),
+            encoding="utf-8",
+        )
+        observed = tmp_path / "o.jsonl"
+        write_jsonl(observed, recording())
+        assert run_cli("diff", str(envelope), str(observed), "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["breaches"] == 0
+        assert all(not delta["breach"] for delta in payload["deltas"])
+
+    def test_json_reference_that_is_not_an_envelope_is_exit_2(self, tmp_path, capsys):
+        bogus = tmp_path / "ref.json"
+        bogus.write_text('{"format": "repro-trace-v1"}', encoding="utf-8")
+        observed = tmp_path / "o.jsonl"
+        write_jsonl(observed, recording())
+        assert run_cli("diff", str(bogus), str(observed)) == 2
+        assert "not a repro-envelope-v1" in capsys.readouterr().err
+
+    def test_mismatched_node_sets_are_exit_2(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_jsonl(a, recording(nodes=(0,)))
+        write_jsonl(b, recording(nodes=(0, 1)))
+        assert run_cli("diff", str(a), str(b)) == 2
+        assert "node sets differ" in capsys.readouterr().err
+
+    def test_missing_reference_is_exit_2(self, tmp_path, capsys):
+        observed = tmp_path / "o.jsonl"
+        write_jsonl(observed, recording())
+        assert run_cli("diff", str(tmp_path / "none.jsonl"), str(observed)) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_bad_abs_tol_argument_is_exit_2(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        write_jsonl(a, recording())
+        assert run_cli("diff", str(a), str(a), "--abs-tol", "egress_queue=lots") == 2
+        assert "not a number" in capsys.readouterr().err
+
+
+class TestMahimahiImporter:
+    def test_parse_skips_comments_and_validates(self):
+        assert parse_mahimahi("# header\n0\n5\n5\n12\n") == (0, 5, 5, 12)
+        with pytest.raises(TraceError, match="not an integer|expected an integer"):
+            parse_mahimahi("0\nabc\n")
+        with pytest.raises(TraceError, match="non-decreasing"):
+            parse_mahimahi("10\n5\n")
+        with pytest.raises(TraceError, match="negative"):
+            parse_mahimahi("-3\n")
+        with pytest.raises(TraceError, match="no delivery"):
+            parse_mahimahi("# only a comment\n")
+
+    def test_binning_counts_opportunities_per_window(self):
+        # 2 opportunities in [0,1), none in [1,2), 1 in [2,3).
+        points = opportunities_to_rates((100, 900, 2500), bin_seconds=1.0, mtu_bytes=1000)
+        assert points == ((0.0, 2000.0), (1.0, 0.0), (2.0, 1000.0))
+
+    def test_equal_rate_bins_coalesce(self):
+        points = opportunities_to_rates((0, 1000, 2000), bin_seconds=1.0, mtu_bytes=1504)
+        assert points == ((0.0, 1504.0),)
+
+    def test_symmetric_import_mirrors_down_into_up(self, tmp_path):
+        down = tmp_path / "link.down"
+        down.write_text("0\n400\n1200\n")
+        trace = import_mahimahi("sym", [down])
+        assert trace.num_nodes == 1
+        t, up, dn = trace.nodes[0].points[0]
+        assert up == dn
+
+    def test_uplink_files_give_asymmetric_links(self, tmp_path):
+        down = tmp_path / "a.down"
+        up = tmp_path / "a.up"
+        down.write_text("0\n100\n200\n300\n")
+        up.write_text("0\n")
+        trace = import_mahimahi("asym", [down], up_files=[up])
+        _, up_rate, down_rate = trace.nodes[0].points[0]
+        assert down_rate == 4 * 1504
+        assert up_rate == 1504
+
+    def test_uplink_count_mismatch_rejected(self, tmp_path):
+        down = tmp_path / "a.down"
+        down.write_text("0\n")
+        with pytest.raises(TraceError, match="must match"):
+            import_mahimahi("bad", [down, down], up_files=[down])
+
+    def test_bundled_recording_matches_committed_import(self):
+        """The checked-in traces/cellular-lte.json is exactly what the
+        bundled mahimahi recording imports to under default options."""
+        imported = import_mahimahi("cellular-lte", ["traces/mahimahi-cellular.down"])
+        assert imported == load_trace("traces/cellular-lte.json")
+
+
+class TestImportCli:
+    def test_import_writes_a_loadable_trace(self, tmp_path, capsys):
+        source = tmp_path / "node0.down"
+        source.write_text("0\n250\n600\n1700\n")
+        out = tmp_path / "imported.json"
+        assert run_cli("import", str(source), "--out", str(out)) == 0
+        assert "imported 1 mahimahi recording(s)" in capsys.readouterr().out
+        trace = load_trace(out)
+        assert trace.name == "imported"
+        assert trace.num_nodes == 1
+
+    def test_missing_source_is_exit_2(self, tmp_path, capsys):
+        out = tmp_path / "x.json"
+        assert run_cli("import", str(tmp_path / "gone.down"), "--out", str(out)) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unknown_format_is_exit_2(self, tmp_path, capsys):
+        source = tmp_path / "a.down"
+        source.write_text("0\n")
+        code = run_cli(
+            "import", str(source), "--format", "pcap", "--out", str(tmp_path / "x.json")
+        )
+        assert code == 2
+        assert "unknown import format" in capsys.readouterr().err
+
+    def test_malformed_recording_is_exit_2(self, tmp_path, capsys):
+        source = tmp_path / "a.down"
+        source.write_text("0\nnot-a-number\n")
+        assert run_cli("import", str(source), "--out", str(tmp_path / "x.json")) == 2
+        assert "expected an integer" in capsys.readouterr().err
