@@ -72,6 +72,7 @@ class BinaryAgreement(SnapshotState):
         "_rounds",
         "_decided_senders",
         "rounds_taken",
+        "probe",
     )
 
     def __init__(
@@ -97,6 +98,9 @@ class BinaryAgreement(SnapshotState):
         self._rounds: dict[int, _RoundState] = {}
         self._decided_senders: dict[int, set[int]] = {0: set(), 1: set()}
         self.rounds_taken = 0
+        #: Optional :class:`repro.trace.spans.SpanRecorder`, installed by the
+        #: owning node as the instance is created; observes round boundaries.
+        self.probe = None
 
     # ------------------------------------------------------------------
     # Public interface
@@ -114,6 +118,11 @@ class BinaryAgreement(SnapshotState):
             return
         self._started = True
         self.estimate = value
+        if self.probe is not None:
+            self.probe.on_ba_round(
+                self.ctx.node_id, self.instance.epoch, self.instance.slot,
+                self.round_number, self.ctx.now,
+            )
         self._broadcast_bval(self.round_number, value)
         self._evaluate_round(self.round_number)
 
@@ -237,6 +246,11 @@ class BinaryAgreement(SnapshotState):
 
     def _advance_to(self, round_number: int) -> None:
         self.round_number = round_number
+        if self.probe is not None:
+            self.probe.on_ba_round(
+                self.ctx.node_id, self.instance.epoch, self.instance.slot,
+                round_number, self.ctx.now,
+            )
         assert self.estimate is not None
         self._broadcast_bval(round_number, self.estimate)
         self._evaluate_round(round_number)
@@ -248,6 +262,11 @@ class BinaryAgreement(SnapshotState):
     def _decide(self, value: int) -> None:
         if self.decided is None:
             self.decided = value
+            if self.probe is not None:
+                self.probe.on_ba_decide(
+                    self.ctx.node_id, self.instance.epoch, self.instance.slot,
+                    bool(value), self.ctx.now,
+                )
             if self.on_output is not None:
                 self.on_output(self.instance, value)
         if not self._sent_decided:

@@ -42,6 +42,7 @@ from repro.sim.snapshot import (
     write_snapshot_file,
 )
 from repro.trace.recorder import TraceRecorder
+from repro.trace.spans import SpanRecorder
 
 
 @dataclass
@@ -57,7 +58,8 @@ class ScenarioResult:
     ``telemetry_path`` names the JSONL time-series written for this point
     when the spec opted into telemetry recording (``None`` otherwise); it is
     likewise excluded from :meth:`summary`, whose bytes are pinned by the
-    golden suite regardless of recording.
+    golden suite regardless of recording.  ``span_path`` is the same for the
+    causal span log (``spec.spans.enabled``).
     """
 
     spec: ScenarioSpec
@@ -66,6 +68,7 @@ class ScenarioResult:
     extra: dict[str, Any] = field(default_factory=dict)
     wall_clock_seconds: float = 0.0
     telemetry_path: str | None = None
+    span_path: str | None = None
 
     @property
     def label(self) -> str:
@@ -127,6 +130,13 @@ def telemetry_filename(spec: ScenarioSpec, overrides: Mapping[str, Any] | None) 
     label = describe_overrides(dict(overrides or {}))
     safe_label = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "base"
     return f"{spec.name}-{safe_label}-seed{spec.seed}.jsonl"
+
+
+def span_filename(spec: ScenarioSpec, overrides: Mapping[str, Any] | None) -> str:
+    """The per-point span-log file name, mirroring :func:`telemetry_filename`."""
+    label = describe_overrides(dict(overrides or {}))
+    safe_label = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "base"
+    return f"{spec.name}-{safe_label}-seed{spec.seed}.spans.jsonl"
 
 
 def checkpoint_filename(spec: ScenarioSpec, overrides: Mapping[str, Any] | None) -> str:
@@ -204,12 +214,14 @@ def run_scenario(
         else:
             state = load_checkpoint(resume_from)
         recorder = state.recorder
+        spans = getattr(state, "spans", None)
     else:
         recorder = (
             TraceRecorder(interval=spec.telemetry.interval)
             if spec.telemetry.enabled
             else None
         )
+        spans = SpanRecorder() if spec.spans.enabled else None
     if spec.checkpoint_every is not None and checkpoint_path is None:
         checkpoint_path = Path(DEFAULT_CHECKPOINT_DIR) / checkpoint_filename(
             spec, overrides
@@ -227,6 +239,8 @@ def run_scenario(
         max_epochs=spec.max_epochs,
         options=ExecutionOptions(
             recorder=recorder,
+            span_recorder=spans,
+            profiler=opts.profiler,
             checkpoint_every=spec.checkpoint_every,
             checkpoint_path=checkpoint_path,
             checkpoint_meta={"spec": spec.to_dict(), "overrides": dict(overrides or {})},
@@ -237,12 +251,17 @@ def run_scenario(
     if recorder is not None and spec.telemetry.enabled:
         target = Path(spec.telemetry.out_dir) / telemetry_filename(spec, overrides)
         telemetry_path = str(recorder.write_jsonl(target))
+    span_path: str | None = None
+    if spans is not None and spec.spans.enabled:
+        target = Path(spec.spans.out_dir) / span_filename(spec, overrides)
+        span_path = str(spans.write_jsonl(target))
     return ScenarioResult(
         spec=spec,
         overrides=dict(overrides or {}),
         result=result,
         wall_clock_seconds=time.perf_counter() - started,
         telemetry_path=telemetry_path,
+        span_path=span_path,
     )
 
 

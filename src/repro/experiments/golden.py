@@ -219,6 +219,12 @@ class EnvelopeConfig:
 ENVELOPE_CONFIGS: dict[str, EnvelopeConfig] = {
     "trace-replay-wan": EnvelopeConfig(duration=6.0, interval=0.5),
     "straggler-hetero": EnvelopeConfig(duration=6.0, interval=0.5),
+    "censor-victim": EnvelopeConfig(duration=6.0, interval=0.5),
+    # bursty-load's catalog warmup (5 s) would swallow most of a 6 s pin, so
+    # the envelope run shortens it; the burst structure is what we pin.
+    "bursty-load": EnvelopeConfig(
+        duration=6.0, interval=0.5, overrides={"warmup": 1.0}
+    ),
 }
 
 

@@ -51,6 +51,12 @@ class ExecutionOptions:
         recorder: a :class:`~repro.trace.recorder.TraceRecorder` to attach to
             a single experiment run (:func:`run_experiment` only; the
             scenario engine builds recorders from ``spec.telemetry`` itself).
+        span_recorder: a :class:`~repro.trace.spans.SpanRecorder` to attach
+            to a single experiment run (:func:`run_experiment` only; the
+            scenario engine builds one from ``spec.spans`` itself).
+        profiler: a :class:`~repro.sim.profiler.SimProfiler` installed on the
+            simulator for the run; host-side observability only — virtual
+            behaviour is identical with or without it.
         checkpoint_every: write a ``repro-ckpt-v1`` checkpoint every this
             many virtual seconds (:func:`run_experiment` /
             :func:`resume_experiment`; the scenario engine reads the spec's
@@ -78,6 +84,8 @@ class ExecutionOptions:
     """
 
     recorder: Any | None = None
+    span_recorder: Any | None = None
+    profiler: Any | None = None
     checkpoint_every: float | None = None
     checkpoint_path: str | Path | None = None
     checkpoint_meta: dict | None = None

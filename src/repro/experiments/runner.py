@@ -383,6 +383,8 @@ def build_experiment(
     warmup: float = 0.0,
     adversary: AdversarySpec | None = None,
     recorder: "TraceRecorder | None" = None,
+    span_recorder=None,
+    profiler=None,
     max_epochs: int | None = None,
     meta: dict | None = None,
 ) -> SimulationState:
@@ -436,6 +438,10 @@ def build_experiment(
     network.start()
     if recorder is not None:
         recorder.attach(sim, network, nodes, collector)
+    if span_recorder is not None:
+        span_recorder.attach(sim, network, nodes)
+    if profiler is not None:
+        sim.profiler = profiler
     return SimulationState(
         fingerprint=_experiment_fingerprint(
             protocol,
@@ -461,6 +467,7 @@ def build_experiment(
         recorder=recorder,
         adversary=adversary,
         placement=placement,
+        spans=span_recorder,
         meta=dict(meta or {}),
     )
 
@@ -478,6 +485,9 @@ def _finish_experiment(
     state.sim.run(until=state.duration)
     if state.recorder is not None:
         state.recorder.finish(state.nodes, adversarial=state.placement)
+    spans = getattr(state, "spans", None)
+    if spans is not None:
+        spans.finish()
     return summarise_experiment(state)
 
 
@@ -653,6 +663,8 @@ def run_experiment(
                 f"this scenario ({expected!r}); refusing a foreign-scenario "
                 "restore"
             )
+        if opts.profiler is not None:
+            state.sim.profiler = opts.profiler
     else:
         state = build_experiment(
             protocol,
@@ -665,6 +677,8 @@ def run_experiment(
             warmup=warmup,
             adversary=adversary,
             recorder=opts.recorder,
+            span_recorder=opts.span_recorder,
+            profiler=opts.profiler,
             max_epochs=max_epochs,
             meta=opts.checkpoint_meta,
         )

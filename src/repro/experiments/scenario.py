@@ -37,6 +37,7 @@ from repro.sim.bandwidth import BandwidthTrace, ConstantBandwidth
 from repro.sim.network import NetworkConfig
 from repro.trace.io import load_trace_cached
 from repro.trace.recorder import TelemetrySpec
+from repro.trace.spans import SpanSpec
 from repro.workload.cities import (
     DEFAULT_EGRESS_HEADROOM,
     city_network_config,
@@ -287,6 +288,9 @@ class ScenarioSpec:
         telemetry: opt-in per-run time-series recording
             (:class:`~repro.trace.recorder.TelemetrySpec`); summaries are
             bit-identical whether it is on or off.
+        spans: opt-in causal span recording
+            (:class:`~repro.trace.spans.SpanSpec`); summaries are
+            bit-identical whether it is on or off.
         duration: virtual seconds to simulate.
         warmup: absolute virtual seconds excluded from throughput
             denominators; ``None`` means ``warmup_fraction * duration``.
@@ -311,6 +315,7 @@ class ScenarioSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     node: NodeConfig = field(default_factory=NodeConfig)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+    spans: SpanSpec = field(default_factory=SpanSpec)
     duration: float = 30.0
     warmup: float | None = None
     warmup_fraction: float = 0.25
@@ -357,6 +362,12 @@ class ScenarioSpec:
             # recording nothing.
             raise ConfigurationError(
                 f"telemetry recording requires a sim scenario, not kind {self.kind!r}"
+            )
+        if self.spans.enabled and self.kind != "sim":
+            # Spans observe the simulated block lifecycle; analytic kinds
+            # have no lifecycle to observe.
+            raise ConfigurationError(
+                f"span recording requires a sim scenario, not kind {self.kind!r}"
             )
         if self.checkpoint_every is not None:
             if self.kind != "sim":
@@ -408,6 +419,7 @@ class ScenarioSpec:
             ("workload", WorkloadSpec),
             ("node", NodeConfig),
             ("telemetry", TelemetrySpec),
+            ("spans", SpanSpec),
         ):
             value = payload.pop(key, None)
             if value is None:

@@ -73,6 +73,7 @@ from repro.experiments.engine import (
     ScenarioResult,
     SweepResult,
     default_workers,
+    span_filename,
     telemetry_filename,
 )
 from repro.experiments.options import ExecutionOptions
@@ -89,6 +90,7 @@ from repro.experiments.scenario import (
 )
 from repro.sim.snapshot import SimulationState, load_checkpoint, save_checkpoint
 from repro.trace.recorder import TraceRecorder
+from repro.trace.spans import SpanRecorder
 
 __all__ = [
     "plan_windowed_points",
@@ -234,6 +236,9 @@ class _SegmentTask:
     #: Per-window telemetry segment paths, parallel to ``start..end``
     #: (``None`` when telemetry is off).
     segments: tuple[str, ...] | None
+    #: Per-window span-log segment paths, parallel to ``start..end``
+    #: (``None`` when span recording is off).
+    span_segments: tuple[str, ...] | None
 
 
 def _refit_forked_state(
@@ -275,6 +280,7 @@ def _execute_segment(task: _SegmentTask) -> dict[str, Any]:
             if spec.telemetry.enabled
             else None
         )
+        span_recorder = SpanRecorder() if spec.spans.enabled else None
         state = build_experiment(
             spec.protocol,
             build_network_config(spec),
@@ -286,6 +292,7 @@ def _execute_segment(task: _SegmentTask) -> dict[str, Any]:
             warmup=spec.effective_warmup(),
             adversary=spec.adversary,
             recorder=recorder,
+            span_recorder=span_recorder,
             max_epochs=spec.max_epochs,
             meta={"spec": spec.to_dict(), "overrides": dict(task.overrides)},
         )
@@ -295,6 +302,7 @@ def _execute_segment(task: _SegmentTask) -> dict[str, Any]:
             _refit_forked_state(state, spec, task.overrides)
     result = None
     last = len(task.boundaries) - 1
+    spans = getattr(state, "spans", None)
     for window in range(task.start, task.end + 1):
         state.sim.run(until=task.boundaries[window])
         if window == last and state.recorder is not None:
@@ -306,6 +314,13 @@ def _execute_segment(task: _SegmentTask) -> dict[str, Any]:
             # The next window must record only its own rows; on hand-off the
             # cleared list rides forward inside the checkpoint.
             state.recorder.rows.clear()
+        if window == last and spans is not None:
+            # Drop aborted (never-closed) spans before the final segment,
+            # exactly as the monolithic finish does.
+            spans.finish()
+        if task.span_segments is not None:
+            spans.write_jsonl(task.span_segments[window - task.start])
+            spans.rows.clear()
     if task.end == last:
         result = summarise_experiment(state)
     else:
@@ -336,6 +351,9 @@ def _build_tasks(
     def seg(index: int, window: int) -> str:
         return str(work_dir / f"point{index:04d}-w{window}.jsonl")
 
+    def span_seg(index: int, window: int) -> str:
+        return str(work_dir / f"point{index:04d}-w{window}.spans.jsonl")
+
     # Windows whose end-of-window checkpoint some follower forks from.
     demanded: dict[int, set[int]] = {}
     for plan in plans:
@@ -349,6 +367,7 @@ def _build_tasks(
     for plan in plans:
         last = len(plan.boundaries) - 1
         telemetry = plan.spec.telemetry.enabled
+        spans_on = plan.spec.spans.enabled
         cuts = sorted(w for w in demanded.get(plan.index, ()) if w < last)
         starts = [plan.first_window] + [w + 1 for w in cuts if w + 1 <= last]
         for start, nxt in zip(starts, starts[1:] + [last + 1]):
@@ -374,6 +393,11 @@ def _build_tasks(
                 segments=(
                     tuple(seg(plan.index, w) for w in range(start, end + 1))
                     if telemetry
+                    else None
+                ),
+                span_segments=(
+                    tuple(span_seg(plan.index, w) for w in range(start, end + 1))
+                    if spans_on
                     else None
                 ),
             )
@@ -448,6 +472,19 @@ def _stitch_telemetry(plan: PointPlan, work_dir: Path) -> str | None:
     return str(target)
 
 
+def _stitch_spans(plan: PointPlan, work_dir: Path) -> str | None:
+    """Byte-concatenate a point's span segments into its monolithic JSONL path."""
+    if not plan.spec.spans.enabled:
+        return None
+    target = Path(plan.spec.spans.out_dir) / span_filename(plan.spec, plan.overrides)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("wb") as out:
+        for window in range(len(plan.boundaries)):
+            owner = plan.leader if window < plan.fork_window else plan.index
+            out.write((work_dir / f"point{owner:04d}-w{window}.spans.jsonl").read_bytes())
+    return str(target)
+
+
 def run_windowed_sweep(
     base: ScenarioSpec, grid: Grid | None, options: ExecutionOptions
 ) -> SweepResult:
@@ -497,6 +534,7 @@ def run_windowed_sweep(
                     result=own[-1]["result"],
                     wall_clock_seconds=sum(o["wall_clock_seconds"] for o in own),
                     telemetry_path=_stitch_telemetry(plan, work_dir),
+                    span_path=_stitch_spans(plan, work_dir),
                 )
             )
     finally:

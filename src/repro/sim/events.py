@@ -27,9 +27,11 @@ from __future__ import annotations
 import gc
 import math
 from heapq import heapify, heappop, heappush
+from time import perf_counter
 from typing import Callable
 
 from repro.common.snapshot import SnapshotState
+from repro.sim.profiler import callback_kind
 
 #: Lazy deletion compacts the heap only past this many dead entries (and only
 #: when they outnumber the live ones), so small simulations never pay for it.
@@ -97,10 +99,15 @@ class Simulator(SnapshotState):
         "_stale",
         "_in_internal",
         "_compact_deferred",
+        "profiler",
     )
 
     def __init__(self) -> None:
         self._now = 0.0
+        #: Optional :class:`repro.sim.profiler.SimProfiler`; when set (and no
+        #: event budget is in play) ``run`` takes a timed twin of the fast
+        #: loop that attributes host seconds per callback kind.
+        self.profiler = None
         #: Heap entries are ``(when, seq, item)`` where ``item`` is a bare
         #: callback (fire-and-forget), an :class:`Event` (cancellable), or an
         #: :class:`InternalCallback` (uncounted bookkeeping).
@@ -250,6 +257,9 @@ class Simulator(SnapshotState):
         if resume_gc:
             gc.disable()
         try:
+            profiler = getattr(self, "profiler", None)
+            if profiler is not None and max_events is None:
+                return self._run_loop_profiled(until, profiler)
             return self._run_loop(until, max_events)
         finally:
             if resume_gc:
@@ -339,6 +349,62 @@ class Simulator(SnapshotState):
             callback()
             executed += 1
             self._processed_events += 1
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def _run_loop_profiled(self, until: float | None, profiler) -> float:
+        """The no-budget fast loop with per-callback wall-time attribution.
+
+        A structural twin of ``_run_loop``'s ``max_events is None`` branch —
+        identical ``_now``/counter/stale/compaction semantics, so a profiled
+        run is behaviour-identical to an unprofiled one — plus two
+        ``perf_counter`` reads and a kind lookup around every callback.
+        """
+        queue = self._queue
+        record = profiler.record
+        processed = 0
+        try:
+            while queue:
+                entry = queue[0]
+                when = entry[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return until
+                heappop(queue)
+                item = entry[2]
+                cls = type(item)
+                if cls is Event:
+                    callback = item.callback
+                    if callback is None:
+                        self._stale -= 1
+                        continue
+                    item.callback = None  # executed: later cancel() is a no-op
+                    kind = "event:" + callback_kind(callback)
+                elif cls is InternalCallback:
+                    self._now = when
+                    self._processed_events += processed
+                    processed = 0
+                    self._in_internal = True
+                    callback = item.callback
+                    started = perf_counter()
+                    callback()
+                    record("internal:" + callback_kind(callback), perf_counter() - started)
+                    self._in_internal = False
+                    if self._compact_deferred:
+                        self._compact_deferred = False
+                        self._compact()
+                    continue
+                else:
+                    callback = item
+                    kind = "event:" + callback_kind(callback)
+                self._now = when
+                started = perf_counter()
+                callback()
+                record(kind, perf_counter() - started)
+                processed += 1
+        finally:
+            self._processed_events += processed
         if until is not None:
             self._now = max(self._now, until)
         return self._now

@@ -233,6 +233,9 @@ class SimulationState:
     recorder: Any = None
     adversary: Any = None
     placement: tuple[int, ...] = ()
+    #: Optional :class:`repro.trace.spans.SpanRecorder` riding the checkpoint
+    #: (the deep pickle keeps it the same object the probes reference).
+    spans: Any = None
     #: Scenario-level metadata (spec dict + overrides) carried through the
     #: checkpoint so ``repro.experiments resume`` can rebuild a summary.
     meta: dict[str, Any] = field(default_factory=dict)

@@ -22,10 +22,19 @@ Two halves, both new layers over the simulator:
   :mod:`repro.trace.plot` renders it to heatmaps and progress curves;
   :mod:`repro.trace.diff` compares recordings (and pinned golden
   envelopes) with per-series tolerances; :mod:`repro.trace.importers`
-  converts third-party recordings (Mahimahi) into the trace format.
+  converts third-party recordings (Mahimahi, cloud-probe logs) into the
+  trace format.
+* **Spans** (:mod:`repro.trace.spans`) — a :class:`SpanRecorder` that
+  observes the per-block lifecycle (dispersal → chunk transfers →
+  retrieval → BA rounds → commit) through protocol hooks and emits nested
+  causal spans as JSONL, plus the reductions behind ``trace spans``
+  (:func:`summarise_spans`) and ``trace flame`` (:func:`spans_to_chrome`,
+  :func:`profile_to_chrome`).  Like telemetry, span recording is opt-in
+  per spec (:class:`SpanSpec`) and behaviour-neutral.
 
 CLI: ``python -m repro.experiments trace
-{inspect,convert,export,summarise,plot,diff,import}`` (:mod:`repro.trace.cli`).
+{inspect,convert,export,summarise,plot,diff,import,spans,flame}``
+(:mod:`repro.trace.cli`).
 """
 
 from repro.common.errors import TraceError
@@ -37,7 +46,12 @@ from repro.trace.diff import (
     envelope_from_summary,
     is_envelope,
 )
-from repro.trace.importers import import_mahimahi, parse_mahimahi
+from repro.trace.importers import (
+    import_cloudprobe,
+    import_mahimahi,
+    parse_cloudprobe,
+    parse_mahimahi,
+)
 from repro.trace.io import (
     load_trace,
     load_trace_cached,
@@ -51,12 +65,21 @@ from repro.trace.io import (
 from repro.trace.model import REPLAY_RATE_FLOOR, MeasuredTrace, NodeTrace, TracePoint
 from repro.trace.plot import build_frame, plot_telemetry
 from repro.trace.recorder import TelemetrySpec, TraceRecorder, read_jsonl
+from repro.trace.spans import (
+    SpanRecorder,
+    SpanSpec,
+    profile_to_chrome,
+    spans_to_chrome,
+    summarise_spans,
+)
 
 __all__ = [
     "MeasuredTrace",
     "NodeTrace",
     "REPLAY_RATE_FLOOR",
     "SeriesDelta",
+    "SpanRecorder",
+    "SpanSpec",
     "TelemetrySpec",
     "TraceError",
     "TracePoint",
@@ -65,18 +88,23 @@ __all__ = [
     "check_envelope",
     "diff_telemetry",
     "envelope_from_summary",
+    "import_cloudprobe",
     "import_mahimahi",
     "is_envelope",
     "load_trace",
     "load_trace_cached",
+    "parse_cloudprobe",
     "parse_csv",
     "parse_json",
     "parse_mahimahi",
     "plot_telemetry",
+    "profile_to_chrome",
     "read_jsonl",
     "resolve_trace_path",
     "save_trace",
+    "spans_to_chrome",
     "summarise_node_samples",
+    "summarise_spans",
     "summarise_telemetry",
     "to_csv_text",
     "to_json_text",

@@ -33,8 +33,16 @@
   second recording or a pinned ``repro-envelope-v1`` envelope (detected by
   content).  Exit status 0 inside tolerance, **1** on any breach.
 * ``import`` converts third-party recordings (Mahimahi packet-delivery
-  files) into a ``repro-trace-v1`` trace file — see
+  files, cloud-probe logs) into a ``repro-trace-v1`` trace file — see
   :mod:`repro.trace.importers`.
+* ``spans`` records (or reads back) causal block-lifecycle spans and
+  reduces them to per-phase latency percentiles, commit-latency stats, and
+  a critical-path drill-down of the slowest blocks — see
+  :mod:`repro.trace.spans`.  Given a scenario name it runs the scenario
+  with span recording forced on (``--profile FILE`` additionally runs the
+  simulator hot-path profiler); given a ``.jsonl`` file it summarises it.
+* ``flame`` lowers a span JSONL or a ``repro-profile-v1`` profiler JSON to
+  Chrome trace-event JSON, loadable in Perfetto or ``chrome://tracing``.
 
 Every user error (missing file, malformed trace, bad scenario) is reported
 as a one-line ``error:`` on stderr with exit status 2, never a traceback
@@ -183,6 +191,47 @@ def add_trace_parser(subparsers) -> None:
     importer.add_argument("--name", default=None, help="trace name (default: output stem)")
     importer.add_argument("--out", required=True, help="destination .json or .csv trace file")
 
+    spans = nested.add_parser(
+        "spans", help="record or summarise causal block-lifecycle spans"
+    )
+    spans.add_argument(
+        "source",
+        help="a span .jsonl file to summarise, or a scenario (catalog name or "
+        "spec-file path) to record with span tracing forced on",
+    )
+    spans.add_argument(
+        "--out", default=None, help="span output directory when recording (default: the spec's)"
+    )
+    spans.add_argument("--duration", type=float, help="virtual seconds to simulate (recording)")
+    spans.add_argument("--seed", type=int, help="master seed for the run (recording)")
+    spans.add_argument(
+        "--set",
+        dest="overrides",
+        metavar="PATH=VALUE",
+        action="append",
+        default=[],
+        help="override a base-spec field by dotted path (repeatable; recording)",
+    )
+    spans.add_argument(
+        "--top", type=int, default=5, help="slowest commits to drill into (default: 5)"
+    )
+    spans.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help="also run the simulator hot-path profiler and write its "
+        "repro-profile-v1 JSON here (recording only)",
+    )
+    spans.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+    flame = nested.add_parser(
+        "flame", help="lower span JSONL or profiler JSON to Chrome trace-event JSON"
+    )
+    flame.add_argument(
+        "input", help="a span .jsonl (from `spans`) or a repro-profile-v1 .json file"
+    )
+    flame.add_argument("--out", required=True, help="destination trace-event .json file")
+
 
 def run_trace_command(args: argparse.Namespace) -> int:
     """Dispatch one parsed ``trace`` invocation; returns the exit status."""
@@ -194,6 +243,8 @@ def run_trace_command(args: argparse.Namespace) -> int:
         "diff": _diff,
         "import": _import,
         "export": _export,
+        "spans": _spans,
+        "flame": _flame,
     }
     try:
         return handlers[args.trace_command](args)
@@ -460,6 +511,139 @@ def _diff(args: argparse.Namespace) -> int:
         )
         return 1
     print(f"all {len(deltas)} compared series within tolerance")
+    return 0
+
+
+def _record_spans(args: argparse.Namespace) -> tuple[str, list]:
+    """Run a scenario with span recording forced on; returns (path, rows)."""
+    from repro.experiments.cli import SpecFileError, resolve_entry
+    from repro.experiments.engine import run_scenario
+    from repro.experiments.options import ExecutionOptions
+    from repro.experiments.scenario import apply_override
+    from repro.sim.profiler import SimProfiler
+    from repro.trace.spans import SpanSpec
+
+    try:
+        entry = resolve_entry(args.source)
+    except SpecFileError as exc:
+        raise TraceError(str(exc)) from None
+    except KeyError as exc:
+        raise TraceError(exc.args[0]) from None
+    spec = entry.base
+    if args.duration is not None:
+        spec = replace(spec, duration=args.duration)
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
+    for assignment in args.overrides:
+        path, sep, value = assignment.partition("=")
+        if not path or not sep:
+            raise TraceError(f"expected PATH=VALUE, got {assignment!r}")
+        try:
+            parsed = json.loads(value)
+        except json.JSONDecodeError:
+            parsed = value
+        spec = apply_override(spec, path, parsed)
+    spec = replace(
+        spec,
+        spans=SpanSpec(
+            enabled=True,
+            out_dir=args.out if args.out is not None else spec.spans.out_dir,
+        ),
+    )
+    profiler = SimProfiler() if args.profile else None
+    result = run_scenario(spec, options=ExecutionOptions(profiler=profiler))
+    if profiler is not None:
+        target = Path(args.profile)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(profiler.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"profile written to {target}")
+    return result.span_path, _read_rows(result.span_path)
+
+
+def _spans(args: argparse.Namespace) -> int:
+    from repro.trace.spans import summarise_spans
+
+    source = Path(args.source)
+    if source.suffix == ".jsonl" or source.is_file():
+        if args.profile:
+            raise TraceError(
+                "--profile records a fresh run; it cannot be combined with "
+                "an existing span file"
+            )
+        span_path = args.source
+        rows = _read_rows(args.source)
+    else:
+        span_path, rows = _record_spans(args)
+    summary = summarise_spans(rows, top=args.top)
+    if args.json:
+        print(json.dumps({"span_path": str(span_path), "summary": summary}, indent=2))
+        return 0
+    commits = summary["commits"]
+    print(
+        f"spans {span_path}: {summary['num_spans']} span(s), "
+        f"{commits['count']} committed block(s)"
+    )
+    header = (
+        f"{'phase':>14}  {'count':>6}  {'mean':>8}  {'p50':>8}  "
+        f"{'p90':>8}  {'p99':>8}  {'max':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, stats in summary["phases"].items():
+        print(
+            f"{name:>14}  {stats['count']:>6}  {stats['mean']:>8.4f}  "
+            f"{stats['p50']:>8.4f}  {stats['p90']:>8.4f}  "
+            f"{stats['p99']:>8.4f}  {stats['max']:>8.4f}"
+        )
+    if commits["count"]:
+        print(
+            f"commit latency: mean {commits['mean_latency']:.4f} s, "
+            f"p50 {commits['p50_latency']:.4f} s, "
+            f"p90 {commits['p90_latency']:.4f} s, "
+            f"max {commits['max_latency']:.4f} s"
+        )
+    for block in summary["slowest"]:
+        parts = ", ".join(
+            f"{name} {seconds:.4f}" for name, seconds in block["phase_seconds"].items()
+        )
+        print(
+            f"slowest: node {block['node']} epoch {block['epoch']}: "
+            f"{block['latency']:.4f} s ({parts})"
+        )
+        for step in block["critical_path"]:
+            where = "".join(
+                f" {key}={step[key]}"
+                for key in ("slot", "round", "src", "dst", "transfer")
+                if key in step
+            )
+            print(
+                f"    waited on {step['name']}{where}: "
+                f"{step['duration']:.4f} s (ends {step['end']:.4f})"
+            )
+    return 0
+
+
+def _flame(args: argparse.Namespace) -> int:
+    from repro.trace.spans import profile_to_chrome, spans_to_chrome
+
+    source = Path(args.input)
+    if source.suffix == ".json":
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise TraceError(f"cannot read profile file: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"malformed profile JSON {source}: {exc}") from exc
+        trace = profile_to_chrome(payload)
+    else:
+        trace = spans_to_chrome(_read_rows(args.input))
+    target = Path(args.out)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(trace, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {len(trace['traceEvents'])} trace event(s) to {target}")
     return 0
 
 

@@ -23,9 +23,18 @@ per node and, optionally, matching uplink files; without uplinks the link
 is treated as symmetric (up mirrors down), which is how the saturator logs
 are usually replayed.
 
-The CLI front-end is ``python -m repro.experiments trace import``; a
-bundled example lives at ``traces/mahimahi-cellular.down`` with its
-imported form at ``traces/cellular-lte.json`` (see ``traces/README.md``).
+The second format is the **cloud-probe log** written by Pacer-style
+cross-datacentre capacity probes: one ``time,rate_bps`` sample per line
+(seconds since probe start, instantaneous achievable bytes/second), strictly
+increasing times, ``#`` comment lines allowed.  Each reading holds until
+the next one (piecewise constant), so import is a time-weighted resample
+onto the bin grid rather than opportunity counting — see
+:func:`samples_to_rates`.
+
+The CLI front-end is ``python -m repro.experiments trace import``; bundled
+examples live at ``traces/mahimahi-cellular.down`` (imported form
+``traces/cellular-lte.json``) and ``traces/cloudprobe-wan.probe`` (imported
+form ``traces/cloudprobe-wan.json``) — see ``traces/README.md``.
 """
 
 from __future__ import annotations
@@ -171,16 +180,153 @@ def _merge_directions(
     return tuple(points)
 
 
-#: Importer registry keyed by the CLI's ``--format`` value.  One entry today;
-#: the shape exists so a second campaign format lands as a function + a row.
-IMPORTERS = {"mahimahi": import_mahimahi}
+# ---------------------------------------------------------------------------
+# Cloud-probe logs: (time, rate) samples rather than delivery opportunities
+# ---------------------------------------------------------------------------
+
+
+def parse_cloudprobe(text: str, name: str = "probe") -> tuple[tuple[float, float], ...]:
+    """Parse a cloud-probe log into ``(seconds, bytes_per_second)`` samples.
+
+    Validates what the format promises: each non-empty, non-comment line is
+    ``time,rate_bps`` with a finite non-negative time (strictly increasing
+    across lines) and a finite non-negative rate.
+    """
+    samples: list[tuple[float, float]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 2:
+            raise TraceError(
+                f"cloudprobe log {name!r} line {number}: expected "
+                f"'time,rate_bps', got {line!r}"
+            )
+        try:
+            t, rate = float(parts[0]), float(parts[1])
+        except ValueError:
+            raise TraceError(
+                f"cloudprobe log {name!r} line {number}: expected two "
+                f"numbers, got {line!r}"
+            ) from None
+        if not math.isfinite(t) or t < 0:
+            raise TraceError(
+                f"cloudprobe log {name!r} line {number}: bad sample time {parts[0]}"
+            )
+        if samples and t <= samples[-1][0]:
+            raise TraceError(
+                f"cloudprobe log {name!r} line {number}: sample times must be "
+                f"strictly increasing (got {t:g} after {samples[-1][0]:g})"
+            )
+        if not math.isfinite(rate) or rate < 0:
+            raise TraceError(
+                f"cloudprobe log {name!r} line {number}: bad rate {parts[1]}"
+            )
+        samples.append((t, rate))
+    if not samples:
+        raise TraceError(f"cloudprobe log {name!r}: no samples")
+    return tuple(samples)
+
+
+def samples_to_rates(
+    samples: Sequence[tuple[float, float]],
+    bin_seconds: float = DEFAULT_BIN_SECONDS,
+) -> tuple[tuple[float, float], ...]:
+    """Time-weighted resample of probe samples onto a regular bin grid.
+
+    Each reading holds until the next one; the first also covers the time
+    before it, and the last holds for one extra bin so it is represented in
+    the output span.  Every bin's rate is the time-weighted mean of the
+    readings it overlaps, and runs of equal-rate bins coalesce into single
+    breakpoints, exactly as :func:`opportunities_to_rates` does.
+    """
+    if bin_seconds <= 0 or not math.isfinite(bin_seconds):
+        raise TraceError(f"bin width must be positive and finite, got {bin_seconds}")
+    num_bins = max(1, math.ceil((samples[-1][0] + bin_seconds) / bin_seconds))
+    end = num_bins * bin_seconds
+    # Step function: segment i covers [starts[i], bounds[i]) at rates[i].
+    starts = [0.0] + [t for t, _ in samples[1:]]
+    bounds = starts[1:] + [end]
+    rates = [rate for _, rate in samples]
+    points: list[tuple[float, float]] = []
+    seg = 0
+    for index in range(num_bins):
+        b0 = index * bin_seconds
+        b1 = (index + 1) * bin_seconds
+        total = 0.0
+        j = seg
+        while j < len(starts):
+            overlap = min(bounds[j], b1) - max(starts[j], b0)
+            if overlap > 0:
+                total += rates[j] * overlap
+            if bounds[j] <= b1:
+                j += 1
+            else:
+                break
+        seg = min(j, len(starts) - 1)
+        rate = total / bin_seconds
+        if not points or points[-1][1] != rate:
+            points.append((b0, rate))
+    return tuple(points)
+
+
+def _read_probe(path: str | Path) -> tuple[tuple[float, float], ...]:
+    resolved = resolve_trace_path(path)
+    try:
+        text = resolved.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceError(f"cannot read cloudprobe file {str(resolved)!r}: {exc}") from exc
+    return parse_cloudprobe(text, name=resolved.name)
+
+
+def import_cloudprobe(
+    name: str,
+    down_files: Sequence[str | Path],
+    up_files: Sequence[str | Path] | None = None,
+    bin_seconds: float = DEFAULT_BIN_SECONDS,
+    mtu_bytes: int = MTU_BYTES,
+) -> MeasuredTrace:
+    """Build a :class:`MeasuredTrace` from cloud-probe logs.
+
+    Same file-per-node/direction convention as :func:`import_mahimahi`.
+    ``mtu_bytes`` is accepted for CLI-signature uniformity but unused: probe
+    logs already carry rates, not packet opportunities.
+    """
+    del mtu_bytes  # rates are measured directly; nothing to multiply
+    if not down_files:
+        raise TraceError("need at least one cloudprobe downlink file")
+    if up_files is not None and len(up_files) != len(down_files):
+        raise TraceError(
+            f"uplink file count ({len(up_files)}) must match downlink "
+            f"file count ({len(down_files)})"
+        )
+    nodes = []
+    for node_id, down_path in enumerate(down_files):
+        down = samples_to_rates(_read_probe(down_path), bin_seconds)
+        if up_files is None:
+            up = down
+        else:
+            up = samples_to_rates(_read_probe(up_files[node_id]), bin_seconds)
+        points = _merge_directions(up, down)
+        nodes.append(NodeTrace(node=node_id, points=points))
+    return MeasuredTrace(name=name, nodes=tuple(nodes))
+
+
+#: Importer registry keyed by the CLI's ``--format`` value.  Every importer
+#: shares the ``(name, down_files, up_files=, bin_seconds=, mtu_bytes=)``
+#: signature the CLI calls with.
+IMPORTERS = {"mahimahi": import_mahimahi, "cloudprobe": import_cloudprobe}
 
 
 __all__ = [
     "DEFAULT_BIN_SECONDS",
     "IMPORTERS",
     "MTU_BYTES",
+    "import_cloudprobe",
     "import_mahimahi",
     "opportunities_to_rates",
+    "parse_cloudprobe",
     "parse_mahimahi",
+    "samples_to_rates",
 ]

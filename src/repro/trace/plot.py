@@ -88,6 +88,9 @@ class TelemetryFrame:
     nodes: tuple[int, ...]
     series: dict[str, np.ndarray]
     commits: tuple[tuple[float, int, int], ...]  # (t, node, epoch)
+    #: ``(t, latency)`` for commit rows that carry a per-epoch latency
+    #: (recorder-written streams do; hand-rolled rows may not).
+    commit_latencies: tuple[tuple[float, float], ...] = ()
     meta: Mapping[str, Any] = field(default_factory=dict)
 
     @property
@@ -105,6 +108,7 @@ def build_frame(rows: Iterable[Mapping[str, Any]]) -> TelemetryFrame:
     meta: Mapping[str, Any] = {}
     samples: list[Mapping[str, Any]] = []
     commits: list[tuple[float, int, int]] = []
+    commit_latencies: list[tuple[float, float]] = []
     for row in rows:
         kind = row.get("kind")
         if kind == "meta" and not meta:
@@ -113,6 +117,8 @@ def build_frame(rows: Iterable[Mapping[str, Any]]) -> TelemetryFrame:
             samples.append(row)
         elif kind == "commit":
             commits.append((float(row["t"]), int(row["node"]), int(row["epoch"])))
+            if "latency" in row:
+                commit_latencies.append((float(row["t"]), float(row["latency"])))
     if not samples:
         raise TraceError("no sample rows in telemetry (was recording enabled?)")
 
@@ -145,6 +151,7 @@ def build_frame(rows: Iterable[Mapping[str, Any]]) -> TelemetryFrame:
         nodes=nodes,
         series=series,
         commits=tuple(sorted(commits)),
+        commit_latencies=tuple(sorted(commit_latencies)),
         meta=meta,
     )
 
@@ -435,6 +442,70 @@ def render_utilisation(frame: TelemetryFrame, out: str | Path, side: str = "egre
     return canvas.save(out)
 
 
+def render_commit_overlay(
+    frame: TelemetryFrame, out: str | Path, side: str = "egress"
+) -> Path:
+    """Cluster-mean utilisation with commit latencies lowered onto the grid.
+
+    One chart, one question: *does commit latency track link pressure?*  The
+    mean busy fraction is drawn against the left axis; every commit row that
+    carries a latency becomes a dot, snapped to the nearest sample tick so
+    the two populations share the recorder's time grid, scaled against a
+    right-hand latency axis.
+
+    Raises:
+        TraceError: if the utilisation series is missing, or no commit row
+            carries a ``latency`` field (hand-rolled streams may not).
+    """
+    name = f"{side}_util"
+    if name not in frame.series:
+        raise TraceError(f"telemetry has no {name!r} series")
+    if not frame.commit_latencies:
+        raise TraceError(
+            "no commit row carries a latency (recorder-written telemetry does)"
+        )
+    mean = frame.series[name].mean(axis=0)
+    canvas = _SvgCanvas(
+        f"Utilisation vs commit latency ({side})",
+        f"{len(frame.nodes)} node(s), {frame.duration:g} s virtual; dots are "
+        f"epoch commits on the sample grid, read against the right axis",
+    )
+    canvas.set_spans((0.0, frame.duration), (0.0, 1.0))
+    canvas.axes("virtual time (s)", "mean busy fraction per interval")
+    canvas.polyline(frame.times, mean, _TEXT, 2.5)
+
+    # Right-hand latency axis: nice ticks over [0, max latency], rendered by
+    # reusing the unit y-span (latency / top maps onto the busy-fraction
+    # scale, so dots and ticks agree by construction).
+    lat_max = max(lat for _, lat in frame.commit_latencies)
+    ticks = _nice_ticks(0.0, lat_max if lat_max > 0 else 1.0)
+    top = max(ticks[-1], lat_max) if ticks[-1] > 0 else 1.0
+    right = canvas.LEFT + canvas.plot_w
+    for tick in ticks:
+        y = canvas.py(tick / top)
+        canvas.parts.append(
+            f'<line x1="{right}" y1="{_fmt(y)}" x2="{right + 4}" y2="{_fmt(y)}" '
+            f'stroke="{_AXIS}" stroke-width="1"/>'
+        )
+        canvas.parts.append(
+            f'<text x="{right + 7}" y="{_fmt(y + 3.5)}" font-size="10" '
+            f'fill="{_TEXT_MUTED}">{_fmt(tick)}</text>'
+        )
+    accent = _CATEGORICAL[1]
+    for t, lat in frame.commit_latencies:
+        snapped = float(frame.times[int(np.argmin(np.abs(frame.times - t)))])
+        canvas.parts.append(
+            f'<circle cx="{_fmt(canvas.px(snapped))}" '
+            f'cy="{_fmt(canvas.py(lat / top))}" r="3.5" '
+            f'fill="{accent}" fill-opacity="0.85"/>'
+        )
+    canvas.commit_marks([t for t, _, _ in frame.commits])
+    canvas.legend(
+        [("mean utilisation", _TEXT, 2.5), ("commit latency (s)", accent, 3.5)]
+    )
+    return canvas.save(out)
+
+
 def render_progress(frame: TelemetryFrame, out: str | Path) -> Path:
     """Delivered-epoch frontiers over time (the Fig. 9 progress shape)."""
     if "delivered_epoch" not in frame.series:
@@ -484,7 +555,9 @@ def plot_telemetry(
 
     Writes ``<stem>-<series>-heatmap.png`` per requested series, plus
     ``<stem>-utilisation.svg``, ``<stem>-queue.svg`` and (when the stream
-    carries epoch frontiers) ``<stem>-progress.svg``; returns the paths.
+    carries epoch frontiers) ``<stem>-progress.svg``; commit rows with
+    latencies additionally produce ``<stem>-commit-overlay.svg``.  Returns
+    the paths.
     """
     frame = build_frame(rows)
     out = Path(out_dir)
@@ -495,6 +568,8 @@ def plot_telemetry(
     written.append(render_queue_curves(frame, out / f"{stem}-queue.svg"))
     if "delivered_epoch" in frame.series:
         written.append(render_progress(frame, out / f"{stem}-progress.svg"))
+    if frame.commit_latencies:
+        written.append(render_commit_overlay(frame, out / f"{stem}-commit-overlay.svg"))
     return written
 
 
@@ -504,6 +579,7 @@ __all__ = [
     "build_frame",
     "heatmap_pixels",
     "plot_telemetry",
+    "render_commit_overlay",
     "render_heatmap",
     "render_progress",
     "render_queue_curves",

@@ -113,6 +113,7 @@ class AvidMInstance(SnapshotState):
         "_requested",
         "_cancelled_retrievers",
         "_retrieval_result",
+        "probe",
     )
 
     def __init__(
@@ -161,6 +162,9 @@ class AvidMInstance(SnapshotState):
         self._requested: set[int] = set()
         #: Clients that told us they decoded the block and need no more chunks.
         self._cancelled_retrievers: set[int] = set()
+        #: Optional :class:`repro.trace.spans.SpanRecorder`, installed by the
+        #: owning node as the instance is created; observes chunk arrivals.
+        self.probe = None
 
     # ------------------------------------------------------------------
     # Dispersing client role
@@ -250,6 +254,12 @@ class AvidMInstance(SnapshotState):
     # --- server side (Fig. 3) ---
 
     def _on_chunk(self, src: int, msg: ChunkMsg) -> None:
+        if self.probe is not None:
+            # The transfer completed even if the payload is rejected below.
+            self.probe.on_chunk_arrived(
+                src, self.ctx.node_id, self.instance.epoch,
+                self.instance.proposer, self.ctx.now,
+            )
         if self.allowed_disperser is not None and src != self.allowed_disperser:
             return
         if msg.chunk.index != self.ctx.node_id:
@@ -347,6 +357,11 @@ class AvidMInstance(SnapshotState):
     # --- client side (Fig. 4: collecting chunks) ---
 
     def _on_return_chunk(self, src: int, msg: ReturnChunkMsg) -> None:
+        if self.probe is not None:
+            self.probe.on_return_chunk_arrived(
+                src, self.ctx.node_id, self.instance.epoch,
+                self.instance.proposer, self.ctx.now,
+            )
         if not self._retrieving or self._retrieval_done:
             return
         if src in self._return_chunk_seen:

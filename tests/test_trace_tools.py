@@ -4,8 +4,9 @@ Unit coverage for the three modules behind the new subcommands —
 :mod:`repro.trace.plot` (frame building and the dependency-free PNG/SVG
 renderers), :mod:`repro.trace.diff` (structured deltas, tolerances and
 ``repro-envelope-v1`` envelopes), :mod:`repro.trace.importers` (the
-Mahimahi packet-delivery importer) — plus the CLI exit-status contracts:
-0 ok, 1 out-of-tolerance (``diff`` only), 2 usage error.
+Mahimahi packet-delivery and cloud-probe importers) — plus the CLI
+exit-status contracts: 0 ok, 1 out-of-tolerance (``diff`` only), 2 usage
+error.
 """
 
 from __future__ import annotations
@@ -31,12 +32,20 @@ from repro.trace.diff import (
     is_envelope,
 )
 from repro.trace.importers import (
+    import_cloudprobe,
     import_mahimahi,
     opportunities_to_rates,
+    parse_cloudprobe,
     parse_mahimahi,
+    samples_to_rates,
 )
 from repro.trace.io import load_trace
-from repro.trace.plot import build_frame, plot_telemetry, write_png
+from repro.trace.plot import (
+    build_frame,
+    plot_telemetry,
+    render_commit_overlay,
+    write_png,
+)
 
 
 def sample(t, node=0, **overrides):
@@ -132,6 +141,49 @@ class TestPlotFrame:
         rows = [sample(0.0), sample(1.0)]
         written = plot_telemetry(rows, tmp_path, "bare")
         assert not [path for path in written if "progress" in path.name]
+
+
+def latency_recording(**kwargs):
+    """A recording whose commit rows carry per-epoch latencies, as the
+    recorder writes them (the bare ``recording()`` fixture omits them)."""
+    rows = recording(**kwargs)
+    rows[-1]["latency"] = 0.8
+    rows.append(
+        {"kind": "commit", "t": 2.7, "node": 1, "epoch": 2, "latency": 1.3}
+    )
+    return rows
+
+
+class TestCommitOverlay:
+    def test_build_frame_collects_commit_latencies(self):
+        frame = build_frame(latency_recording())
+        assert frame.commit_latencies == ((1.5, 0.8), (2.7, 1.3))
+        # Latency-free commit rows still land in commits, just not here.
+        assert len(build_frame(recording()).commit_latencies) == 0
+        assert len(build_frame(recording()).commits) == 1
+
+    def test_plot_telemetry_adds_the_overlay_when_latencies_present(self, tmp_path):
+        written = plot_telemetry(latency_recording(), tmp_path, "lat")
+        names = {path.name for path in written}
+        assert "lat-commit-overlay.svg" in names
+        overlay = tmp_path / "lat-commit-overlay.svg"
+        root = ET.parse(overlay).getroot()
+        dots = [el for el in root.iter() if el.tag.endswith("circle")]
+        assert len(dots) == 2  # one per latency-bearing commit
+
+    def test_overlay_skipped_without_latencies(self, tmp_path):
+        written = plot_telemetry(recording(), tmp_path, "bare")
+        assert not [path for path in written if "commit-overlay" in path.name]
+
+    def test_latency_free_stream_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="no commit row carries a latency"):
+            render_commit_overlay(build_frame(recording()), tmp_path / "x.svg")
+
+    def test_missing_util_series_rejected(self, tmp_path):
+        rows = [row for row in latency_recording() if row["kind"] != "sample"]
+        rows.insert(1, {"kind": "sample", "t": 0.0, "node": 0, "egress_queue": 1})
+        with pytest.raises(TraceError, match="no 'egress_util' series"):
+            render_commit_overlay(build_frame(rows), tmp_path / "x.svg")
 
 
 class TestPlotCli:
@@ -350,6 +402,60 @@ class TestMahimahiImporter:
         assert imported == load_trace("traces/cellular-lte.json")
 
 
+class TestCloudprobeImporter:
+    def test_parse_skips_comments_and_validates(self):
+        text = "# probe header\n0.0,1000\n1.5,2500\n\n3.0,0\n"
+        assert parse_cloudprobe(text) == ((0.0, 1000.0), (1.5, 2500.0), (3.0, 0.0))
+        with pytest.raises(TraceError, match="expected 'time,rate_bps'"):
+            parse_cloudprobe("0.0,1000,extra\n")
+        with pytest.raises(TraceError, match="expected two numbers"):
+            parse_cloudprobe("0.0,fast\n")
+        with pytest.raises(TraceError, match="strictly increasing"):
+            parse_cloudprobe("1.0,100\n1.0,200\n")
+        with pytest.raises(TraceError, match="bad rate"):
+            parse_cloudprobe("0.0,-5\n")
+        with pytest.raises(TraceError, match="bad sample time"):
+            parse_cloudprobe("-1.0,100\n")
+        with pytest.raises(TraceError, match="no samples"):
+            parse_cloudprobe("# nothing but comments\n")
+
+    def test_resample_is_time_weighted(self):
+        # 1000 B/s holds over [0, 0.5), 3000 B/s from 0.5 on: the first bin
+        # mixes them by overlap, the second sees only the later reading.
+        points = samples_to_rates(((0.0, 1000.0), (0.5, 3000.0)), bin_seconds=1.0)
+        assert points == ((0.0, 2000.0), (1.0, 3000.0))
+
+    def test_first_sample_backfills_to_time_zero(self):
+        # A probe whose first reading lands mid-bin still covers t = 0.
+        points = samples_to_rates(((0.25, 2000.0),), bin_seconds=1.0)
+        assert points == ((0.0, 2000.0),)
+
+    def test_equal_rate_bins_coalesce(self):
+        points = samples_to_rates(((0.0, 500.0), (2.5, 500.0)), bin_seconds=1.0)
+        assert points == ((0.0, 500.0),)
+
+    def test_mtu_is_ignored_for_probe_logs(self, tmp_path):
+        probe = tmp_path / "a.probe"
+        probe.write_text("0.0,8000\n2.0,4000\n")
+        assert import_cloudprobe("p", [probe], mtu_bytes=1) == import_cloudprobe(
+            "p", [probe], mtu_bytes=9000
+        )
+
+    def test_symmetric_import_mirrors_down_into_up(self, tmp_path):
+        probe = tmp_path / "a.probe"
+        probe.write_text("0.0,6000\n1.0,9000\n")
+        trace = import_cloudprobe("sym", [probe])
+        assert trace.num_nodes == 1
+        for _, up, down in trace.nodes[0].points:
+            assert up == down
+
+    def test_bundled_recording_matches_committed_import(self):
+        """The checked-in traces/cloudprobe-wan.json is exactly what the
+        bundled probe log imports to under default options."""
+        imported = import_cloudprobe("cloudprobe-wan", ["traces/cloudprobe-wan.probe"])
+        assert imported == load_trace("traces/cloudprobe-wan.json")
+
+
 class TestImportCli:
     def test_import_writes_a_loadable_trace(self, tmp_path, capsys):
         source = tmp_path / "node0.down"
@@ -360,6 +466,18 @@ class TestImportCli:
         trace = load_trace(out)
         assert trace.name == "imported"
         assert trace.num_nodes == 1
+
+    def test_cloudprobe_format_selects_the_probe_importer(self, tmp_path, capsys):
+        source = tmp_path / "probe.log"
+        source.write_text("0.0,4000\n1.0,8000\n")
+        out = tmp_path / "probe.json"
+        code = run_cli(
+            "import", str(source), "--format", "cloudprobe", "--out", str(out)
+        )
+        assert code == 0
+        assert "imported 1 cloudprobe recording(s)" in capsys.readouterr().out
+        trace = load_trace(out)
+        assert trace.nodes[0].points[0] == (0.0, 4000.0, 4000.0)
 
     def test_missing_source_is_exit_2(self, tmp_path, capsys):
         out = tmp_path / "x.json"
